@@ -1,0 +1,97 @@
+// Command hopssim reproduces the paper's simulation studies on the
+// simulator-suitable subset of WHISPER: Figure 6 (PM accesses as a share
+// of all memory accesses) and Figure 10 (runtime under the five
+// persistence models, normalized to the x86-64 NVM baseline).
+//
+// Usage:
+//
+//	hopssim [-fig6] [-fig10] [-ops n] [-seed n] [-pb n]
+//
+// With no figure flags, both print.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/whisper-pm/whisper"
+)
+
+// subset is the simulator-suitable application list of §5.3/§6.4.
+var subset = []string{"echo", "ycsb", "redis", "ctree", "hashmap", "vacation"}
+
+var paperPMShare = map[string]float64{
+	"echo": 5.49, "ycsb": 8.71, "redis": 0.74,
+	"ctree": 3.32, "hashmap": 2.6, "vacation": 0.36,
+}
+
+func main() {
+	fig6 := flag.Bool("fig6", false, "print Figure 6 (PM share of accesses)")
+	fig10 := flag.Bool("fig10", false, "print Figure 10 (HOPS performance)")
+	ops := flag.Int("ops", 0, "operations per client (0 = suite default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	pb := flag.Int("pb", 0, "persist-buffer entries per thread (0 = paper's 32)")
+	flag.Parse()
+	both := !*fig6 && !*fig10
+
+	cfg := whisper.DefaultHOPSConfig()
+	if *pb > 0 {
+		cfg.PBEntries = *pb
+		if cfg.DrainAt > *pb {
+			cfg.DrainAt = *pb / 2
+		}
+		if cfg.DrainAt == 0 {
+			cfg.DrainAt = 1
+		}
+	}
+
+	reports := make(map[string]*whisper.Report)
+	for _, name := range subset {
+		rep, err := whisper.Run(name, whisper.Config{Ops: *ops, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reports[name] = rep
+	}
+
+	if both || *fig6 {
+		fmt.Println("== Figure 6: PM accesses among all memory accesses ==")
+		fmt.Printf("%-10s %-10s %s\n", "Benchmark", "Measured", "Paper")
+		var sum float64
+		for _, name := range subset {
+			r := reports[name]
+			fmt.Printf("%-10s %-9.2f%% %.2f%%\n", name, r.PMShare*100, paperPMShare[name])
+			sum += r.PMShare * 100
+		}
+		fmt.Printf("%-10s %-9.2f%% %.2f%%\n\n", "average", sum/float64(len(subset)), 3.54)
+	}
+
+	if both || *fig10 {
+		fmt.Printf("== Figure 10: normalized runtime (PB=%d entries, %d MCs) ==\n",
+			cfg.PBEntries, cfg.MemoryControllers)
+		models := whisper.HOPSModels()
+		fmt.Printf("%-10s", "Benchmark")
+		for _, m := range models {
+			fmt.Printf(" %14s", m)
+		}
+		fmt.Println()
+		avg := make(map[string]float64)
+		for _, name := range subset {
+			norm := whisper.SimulateHOPS(reports[name].Trace, cfg)
+			fmt.Printf("%-10s", name)
+			for _, m := range models {
+				fmt.Printf(" %14.3f", norm[m])
+				avg[m] += norm[m]
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-10s", "average")
+		for _, m := range models {
+			fmt.Printf(" %14.3f", avg[m]/float64(len(subset)))
+		}
+		fmt.Println()
+		fmt.Println("\npaper averages: x86(NVM) 1.00, x86(PWQ) 0.845, HOPS(NVM) 0.757, HOPS(PWQ) 0.747, IDEAL 0.593")
+	}
+}

@@ -1,0 +1,77 @@
+// Command whisper runs WHISPER benchmarks on the simulated PM substrate
+// and reports Table 1 (epochs per second), optionally saving raw traces
+// for offline analysis with wanalyze/hopssim.
+//
+// Usage:
+//
+//	whisper [-bench name] [-clients n] [-ops n] [-seed n] [-trace dir] [-table1]
+//
+// With no -bench, the whole suite runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/whisper-pm/whisper"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to run (default: whole suite)")
+	clients := flag.Int("clients", 0, "client threads (0 = paper default)")
+	ops := flag.Int("ops", 0, "operations per client (0 = suite default)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	traceDir := flag.String("trace", "", "directory to save raw traces")
+	table1 := flag.Bool("table1", false, "print only the Table 1 epoch-rate rows")
+	flag.Parse()
+
+	names := whisper.Names()
+	if *bench != "" {
+		names = []string{*bench}
+	}
+
+	if *table1 {
+		fmt.Printf("%-10s %-10s %-14s %s\n", "Benchmark", "Layer", "Epochs/sec", "Paper (Table 1)")
+	}
+	paperRates := map[string]string{
+		"echo": "1.6M", "ycsb": "5M", "tpcc": "7.3M", "redis": "1.3M",
+		"ctree": "1M", "hashmap": "1.3M", "vacation": "700K",
+		"memcached": "1.5M", "nfs": "250K", "exim": "6250", "mysql": "60K",
+	}
+
+	for _, name := range names {
+		rep, err := whisper.Run(name, whisper.Config{
+			Clients: *clients, Ops: *ops, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *table1 {
+			fmt.Printf("%-10s %-10s %-14.3g %s\n", rep.App, rep.Layer,
+				rep.EpochsPerSecond, paperRates[name])
+		} else {
+			fmt.Print(rep.String())
+		}
+		if *traceDir != "" {
+			if err := saveTrace(*traceDir, name, rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func saveTrace(dir, name string, rep *whisper.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".wspr"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rep.Trace.Encode(f)
+}

@@ -1,0 +1,32 @@
+// Quickstart: run one WHISPER benchmark, print its epoch-level analysis,
+// and replay it under the Figure 10 persistence models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/whisper-pm/whisper"
+)
+
+func main() {
+	// Run the NVML hashmap micro-benchmark: 4 clients, 200 INSERT
+	// transactions each, deterministic under the given seed.
+	rep, err := whisper.Run("hashmap", whisper.Config{Ops: 200, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== epoch analysis (the paper's §5) ===")
+	fmt.Print(rep.String())
+	fmt.Printf("epochs per transaction (median): %d  (paper: 11)\n", rep.MedianTxEpochs)
+	fmt.Printf("singleton epochs:                %.0f%% (paper: ~75%% for library apps)\n",
+		rep.SingletonFraction*100)
+
+	fmt.Println("\n=== HOPS evaluation (the paper's §6.4) ===")
+	norm := whisper.SimulateHOPS(rep.Trace, whisper.DefaultHOPSConfig())
+	for _, model := range whisper.HOPSModels() {
+		fmt.Printf("%-16s %.3f\n", model, norm[model])
+	}
+	fmt.Println("\n(runtimes normalized to the x86-64 NVM baseline; lower is better)")
+}

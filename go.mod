@@ -1,0 +1,3 @@
+module github.com/whisper-pm/whisper
+
+go 1.22

@@ -1,0 +1,206 @@
+package alloc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/persist"
+)
+
+// MultiSlab is the Mnemosyne-style allocator: one slab per power-of-two
+// size class, a persistent bitmap word per 64 blocks, and a volatile free
+// index per class. An allocation is a single sub-10-byte persistent store
+// (set the bitmap bit) flushed and fenced in its own epoch; that is exactly
+// the dominant singleton-epoch source the paper identifies. A crash between
+// an allocation and the linking of the object into a reachable structure
+// leaks the block (Mnemosyne's documented trade-off); LeakCheck finds such
+// blocks given the application's reachable set.
+type MultiSlab struct {
+	rt      *persist.Runtime
+	classes []*slabClass
+}
+
+// stripes spreads consecutive allocations of different threads across
+// different bitmap words: real Mnemosyne/NVML use per-thread arenas, so two
+// threads allocating concurrently do not write the same allocator word and
+// do not manufacture cross-thread dependencies (§5.1 finds cross-deps
+// rare).
+const stripes = 8
+
+type slabClass struct {
+	blockSize int
+	perSlab   int            // blocks per slab
+	bitmaps   mem.Addr       // perSlab/64 persistent words
+	data      mem.Addr       // perSlab * blockSize bytes
+	free      [stripes][]int // volatile free indexes, striped by bitmap word
+	allocated int
+}
+
+func (c *slabClass) freeCount() int {
+	n := 0
+	for i := range c.free {
+		n += len(c.free[i])
+	}
+	return n
+}
+
+// pop takes a free block, preferring the thread's own stripe.
+func (c *slabClass) pop(tid int) (int, bool) {
+	s := tid % stripes
+	for i := 0; i < stripes; i++ {
+		idx := (s + i) % stripes
+		if n := len(c.free[idx]); n > 0 {
+			blk := c.free[idx][n-1]
+			c.free[idx] = c.free[idx][:n-1]
+			return blk, true
+		}
+	}
+	return 0, false
+}
+
+func (c *slabClass) push(blk int) {
+	c.free[(blk/64)%stripes] = append(c.free[(blk/64)%stripes], blk)
+}
+
+// MultiSlabClasses are the supported allocation sizes. The large classes
+// serve table/bucket arrays; small-object traffic dominates real runs.
+var MultiSlabClasses = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+	8192, 16384, 32768, 65536}
+
+// NewMultiSlab creates a multi-slab allocator with blocksPerClass blocks in
+// every size class (rounded up to a multiple of 64 so bitmaps are whole
+// words).
+func NewMultiSlab(rt *persist.Runtime, blocksPerClass int) *MultiSlab {
+	if blocksPerClass <= 0 {
+		panic("alloc: blocksPerClass must be positive")
+	}
+	per := (blocksPerClass + 63) &^ 63
+	m := &MultiSlab{rt: rt}
+	for _, bs := range MultiSlabClasses {
+		c := &slabClass{
+			blockSize: bs,
+			perSlab:   per,
+			bitmaps:   rt.Dev.Map(per / 8),
+			data:      rt.Dev.Map(per * bs),
+		}
+		for blk := per - 1; blk >= 0; blk-- {
+			c.push(blk)
+		}
+		m.classes = append(m.classes, c)
+	}
+	return m
+}
+
+func (m *MultiSlab) classFor(size int) *slabClass {
+	for _, c := range m.classes {
+		if size <= c.blockSize {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("alloc: size %d exceeds largest class %d", size,
+		m.classes[len(m.classes)-1].blockSize))
+}
+
+// Alloc returns a block of at least size bytes, or 0 when the class is
+// exhausted. Persists one bitmap word in its own epoch.
+func (m *MultiSlab) Alloc(th *persist.Thread, size int) mem.Addr {
+	c := m.classFor(size)
+	blk, ok := c.pop(th.ID())
+	if !ok {
+		return 0
+	}
+	th.VLoad(0, 1)
+
+	word := c.bitmaps + mem.Addr(blk/64*8)
+	v := th.LoadU64(word)
+	v |= 1 << uint(blk%64)
+	th.StoreU64(word, v)
+	th.Flush(word, 8)
+	th.Fence()
+	c.allocated++
+	return c.data + mem.Addr(blk*c.blockSize)
+}
+
+// Free returns a block to its class. Persists one bitmap word in its own
+// epoch.
+func (m *MultiSlab) Free(th *persist.Thread, a mem.Addr) {
+	c, blk := m.locate(a)
+	word := c.bitmaps + mem.Addr(blk/64*8)
+	v := th.LoadU64(word)
+	bit := uint64(1) << uint(blk%64)
+	if v&bit == 0 {
+		panic(fmt.Sprintf("alloc: double free of %v", a))
+	}
+	th.StoreU64(word, v&^bit)
+	th.Flush(word, 8)
+	th.Fence()
+	c.push(blk)
+	c.allocated--
+	th.VStore(0, 1)
+}
+
+func (m *MultiSlab) locate(a mem.Addr) (*slabClass, int) {
+	for _, c := range m.classes {
+		end := c.data + mem.Addr(c.perSlab*c.blockSize)
+		if a >= c.data && a < end {
+			off := int(a - c.data)
+			if off%c.blockSize != 0 {
+				panic(fmt.Sprintf("alloc: %v is not a block base", a))
+			}
+			return c, off / c.blockSize
+		}
+	}
+	panic(fmt.Sprintf("alloc: address %v not from this allocator", a))
+}
+
+// Allocated returns the total number of live blocks across classes
+// according to the volatile index.
+func (m *MultiSlab) Allocated() int {
+	n := 0
+	for _, c := range m.classes {
+		n += c.allocated
+	}
+	return n
+}
+
+// Recover rebuilds the volatile free indexes from the persistent bitmaps.
+func (m *MultiSlab) Recover(th *persist.Thread) {
+	for _, c := range m.classes {
+		for i := range c.free {
+			c.free[i] = c.free[i][:0]
+		}
+		c.allocated = 0
+		for w := 0; w < c.perSlab/64; w++ {
+			v := th.LoadU64(c.bitmaps + mem.Addr(w*8))
+			c.allocated += bits.OnesCount64(v)
+			for b := 63; b >= 0; b-- {
+				if v&(1<<uint(b)) == 0 {
+					c.push(w*64 + b)
+				}
+			}
+		}
+	}
+}
+
+// LeakCheck returns the addresses of blocks marked allocated in the
+// persistent bitmaps but absent from reachable — the garbage a post-crash
+// collector (§5.2, Consequence 8) would reclaim.
+func (m *MultiSlab) LeakCheck(th *persist.Thread, reachable map[mem.Addr]bool) []mem.Addr {
+	var leaks []mem.Addr
+	for _, c := range m.classes {
+		for w := 0; w < c.perSlab/64; w++ {
+			v := th.LoadU64(c.bitmaps + mem.Addr(w*8))
+			for b := 0; b < 64; b++ {
+				if v&(1<<uint(b)) == 0 {
+					continue
+				}
+				a := c.data + mem.Addr((w*64+b)*c.blockSize)
+				if !reachable[a] {
+					leaks = append(leaks, a)
+				}
+			}
+		}
+	}
+	return leaks
+}

@@ -1,0 +1,119 @@
+package fsapps
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/epoch"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmfs"
+)
+
+func newFS(app string, threads int) (*persist.Runtime, *pmfs.FS) {
+	rt := persist.NewRuntime(app, "pmfs", threads, persist.Config{})
+	fs := pmfs.Format(rt, rt.Thread(0), pmfs.Options{Inodes: 1024, Blocks: 4096})
+	return rt, fs
+}
+
+func TestRunNFS(t *testing.T) {
+	rt, fs := newFS("nfs", 4)
+	if err := RunNFS(rt, fs, 4, 30, 41); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.Readdir(rt.Thread(0), "/files")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("fileserver created no files")
+	}
+	a := epoch.Analyze(rt.Trace)
+	if a.TotalEpochs == 0 {
+		t.Fatal("no epochs")
+	}
+	// NFS has the big 64-line epochs from block writes (Figure 4).
+	if a.SizeHist[6] == 0 {
+		t.Error("no >=64-line epochs despite block writes")
+	}
+	// PMFS userdata goes through NTIs (§5.2: ~96%).
+	if a.NTIFraction() < 0.5 {
+		t.Errorf("NTI fraction = %.2f, want high", a.NTIFraction())
+	}
+}
+
+func TestRunExim(t *testing.T) {
+	rt, fs := newFS("exim", 2)
+	if err := RunExim(rt, fs, 2, 10, 4, 43); err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	// Spool files must be cleaned up.
+	spool, _ := fs.Readdir(th, "/spool")
+	if len(spool) != 0 {
+		t.Fatalf("spool not empty: %v", spool)
+	}
+	// The log must contain one line per delivery.
+	data, err := fs.ReadAt(th, "/log/mainlog", 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 20 {
+		t.Fatalf("log lines = %d, want 20", lines)
+	}
+	// Some mailbox must have grown.
+	grown := false
+	boxes, _ := fs.Readdir(th, "/mail")
+	for _, b := range boxes {
+		if info, err := fs.Stat(th, "/mail/"+b); err == nil && info.Size > 0 {
+			grown = true
+		}
+	}
+	if !grown {
+		t.Fatal("no mailbox received mail")
+	}
+}
+
+func TestRunMySQL(t *testing.T) {
+	rt, fs := newFS("mysql", 2)
+	if err := RunMySQL(rt, fs, 2, 20, 47); err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	info, err := fs.Stat(th, "/db/redo.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~30% of 40 transactions write; each appends a log line.
+	if info.Size == 0 {
+		t.Fatal("redo log empty")
+	}
+	a := epoch.Analyze(rt.Trace)
+	// MySQL has the lowest self-dependency rate of the suite (Fig. 5).
+	if a.SelfDepFraction() > 0.8 {
+		t.Errorf("self-dep fraction = %.2f, expected low-ish for MySQL", a.SelfDepFraction())
+	}
+}
+
+func TestEximMedianTxSmall(t *testing.T) {
+	// Figure 3: exim median 5 epochs per transaction (= system call).
+	rt, fs := newFS("exim", 1)
+	if err := RunExim(rt, fs, 1, 10, 2, 53); err != nil {
+		t.Fatal(err)
+	}
+	a := epoch.Analyze(rt.Trace)
+	med := a.MedianTxEpochs()
+	if med < 2 || med > 12 {
+		t.Errorf("median epochs/syscall = %d, paper reports 5", med)
+	}
+}
+
+func TestFSAppsPMFraction(t *testing.T) {
+	// Filesystem apps still have mostly volatile traffic.
+	rt, fs := newFS("nfs", 2)
+	RunNFS(rt, fs, 2, 20, 59)
+	a := epoch.Analyze(rt.Trace)
+	if a.DRAMAccesses == 0 {
+		t.Fatal("no volatile accounting")
+	}
+}

@@ -1,0 +1,260 @@
+// Package memcache reimplements Memcached as modified for WHISPER
+// (§3.2.2): the object cache's hash table lives in PM segments allocated
+// through Mnemosyne, every table access executes in a durable transaction,
+// and the locks that used to guard the table are replaced by transactions
+// (so GETs are read-only transactions). The LRU replacement policy — pure
+// cache policy, not recovery state — stays volatile.
+//
+// Table 1 drives it with memslap: 4 clients, 5% SET; Figure 3 reports a
+// median of 4 epochs per transaction (GETs dominate and are cheap).
+package memcache
+
+import (
+	"container/list"
+	"encoding/binary"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/mnemosyne"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/sched"
+	"github.com/whisper-pm/whisper/internal/workload"
+)
+
+// Item layout: hash u64 | keyLen u32 | valLen u32 | next u64 | bytes...
+const (
+	iHash    = 0
+	iLens    = 8
+	iNext    = 16
+	iData    = 24
+	maxKV    = 104
+	iSize    = iData + maxKV
+	rootSlot = 3
+)
+
+// Cache is the persistent object cache.
+type Cache struct {
+	rt       *persist.Runtime
+	heap     *mnemosyne.Heap
+	buckets  mem.Addr
+	nbucket  uint64
+	maxItems int
+
+	// Volatile LRU: front = most recent. Entries hold item addresses.
+	lru    *list.List
+	byAddr map[mem.Addr]*list.Element
+	count  int
+}
+
+// New creates a cache with nbuckets chains, evicting above maxItems.
+func New(rt *persist.Runtime, heap *mnemosyne.Heap, nbuckets, maxItems int) *Cache {
+	c := &Cache{
+		rt: rt, heap: heap, nbucket: uint64(nbuckets), maxItems: maxItems,
+		lru: list.New(), byAddr: make(map[mem.Addr]*list.Element),
+	}
+	th := rt.Thread(0)
+	heap.Run(th, func(tx *mnemosyne.Tx) error {
+		c.buckets = tx.Alloc(nbuckets * 8)
+		return nil
+	})
+	heap.SetRoot(th, rootSlot, c.buckets)
+	return c
+}
+
+func fnv(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func (c *Cache) bucketAddr(h uint64) mem.Addr {
+	return c.buckets + mem.Addr((h%c.nbucket)*8)
+}
+
+// Set stores key -> value (the SET command) in a durable transaction,
+// evicting the LRU item if the cache is full.
+func (c *Cache) Set(tid int, key, value string) error {
+	if len(key)+len(value) > maxKV {
+		value = value[:maxKV-len(key)]
+	}
+	th := c.rt.Thread(tid)
+	h := fnv(key)
+	return c.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		if item, prev := c.find(tx, h, key); item != 0 {
+			_ = prev
+			// Overwrite the value in place (transactionally logged).
+			kl := int(tx.ReadU64(item+iLens) & 0xffffffff)
+			var lens [8]byte
+			binary.LittleEndian.PutUint32(lens[0:], uint32(kl))
+			binary.LittleEndian.PutUint32(lens[4:], uint32(len(value)))
+			tx.Write(item+iLens, lens[:])
+			tx.Write(item+iData+mem.Addr(kl), []byte(value))
+			th.UserData(len(value))
+			c.touch(item)
+			return nil
+		}
+		if c.count >= c.maxItems {
+			c.evictLRU(tx)
+		}
+		item := tx.Alloc(iSize)
+		buf := make([]byte, iData+len(key)+len(value))
+		binary.LittleEndian.PutUint64(buf[iHash:], h)
+		binary.LittleEndian.PutUint32(buf[iLens:], uint32(len(key)))
+		binary.LittleEndian.PutUint32(buf[iLens+4:], uint32(len(value)))
+		binary.LittleEndian.PutUint64(buf[iNext:], tx.ReadU64(c.bucketAddr(h)))
+		copy(buf[iData:], key)
+		copy(buf[iData+len(key):], value)
+		tx.Write(item, buf)
+		tx.WriteU64(c.bucketAddr(h), uint64(item))
+		th.UserData(len(key) + len(value))
+		c.count++
+		c.byAddr[item] = c.lru.PushFront(item)
+		th.VStore(0, 3)
+		return nil
+	})
+}
+
+// find locates the item for (h, key) and its predecessor pointer word.
+func (c *Cache) find(tx *mnemosyne.Tx, h uint64, key string) (mem.Addr, mem.Addr) {
+	prev := c.bucketAddr(h)
+	item := mem.Addr(tx.ReadU64(prev))
+	for item != 0 {
+		if tx.ReadU64(item+iHash) == h {
+			kl := int(tx.ReadU64(item+iLens) & 0xffffffff)
+			if string(tx.Read(item+iData, kl)) == key {
+				return item, prev
+			}
+		}
+		prev = item + iNext
+		item = mem.Addr(tx.ReadU64(prev))
+	}
+	return 0, prev
+}
+
+// Get returns the value for key (the GET command): a read-only durable
+// transaction plus a volatile LRU bump.
+func (c *Cache) Get(tid int, key string) (string, bool) {
+	th := c.rt.Thread(tid)
+	h := fnv(key)
+	var out string
+	found := false
+	c.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		item, _ := c.find(tx, h, key)
+		if item == 0 {
+			return nil
+		}
+		lens := tx.ReadU64(item + iLens)
+		kl, vl := int(lens&0xffffffff), int(lens>>32)
+		out = string(tx.Read(item+iData+mem.Addr(kl), vl))
+		found = true
+		c.touch(item)
+		return nil
+	})
+	th.VLoad(0, 4)
+	return out, found
+}
+
+// Delete removes key (the DELETE command).
+func (c *Cache) Delete(tid int, key string) (bool, error) {
+	th := c.rt.Thread(tid)
+	h := fnv(key)
+	found := false
+	err := c.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		item, prev := c.find(tx, h, key)
+		if item == 0 {
+			return nil
+		}
+		tx.WriteU64(prev, tx.ReadU64(item+iNext))
+		tx.Free(item)
+		c.dropVolatile(item)
+		found = true
+		return nil
+	})
+	return found, err
+}
+
+// evictLRU unlinks the least-recently-used item inside tx.
+func (c *Cache) evictLRU(tx *mnemosyne.Tx) {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	item := back.Value.(mem.Addr)
+	h := tx.ReadU64(item + iHash)
+	// Find its predecessor in the chain.
+	prev := c.bucketAddr(h)
+	cur := mem.Addr(tx.ReadU64(prev))
+	for cur != 0 && cur != item {
+		prev = cur + iNext
+		cur = mem.Addr(tx.ReadU64(prev))
+	}
+	if cur == item {
+		tx.WriteU64(prev, tx.ReadU64(item+iNext))
+		tx.Free(item)
+	}
+	c.dropVolatile(item)
+}
+
+func (c *Cache) touch(item mem.Addr) {
+	if e, ok := c.byAddr[item]; ok {
+		c.lru.MoveToFront(e)
+	}
+}
+
+func (c *Cache) dropVolatile(item mem.Addr) {
+	if e, ok := c.byAddr[item]; ok {
+		c.lru.Remove(e)
+		delete(c.byAddr, item)
+		c.count--
+	}
+}
+
+// Len returns the volatile item count.
+func (c *Cache) Len() int { return c.count }
+
+// CountPersistent walks the persistent chains and rebuilds the volatile
+// LRU (recovery path: order is lost, contents are not).
+func (c *Cache) CountPersistent(tid int) int {
+	th := c.rt.Thread(tid)
+	c.lru.Init()
+	c.byAddr = make(map[mem.Addr]*list.Element)
+	n := 0
+	for b := uint64(0); b < c.nbucket; b++ {
+		item := mem.Addr(th.LoadU64(c.buckets + mem.Addr(b*8)))
+		for item != 0 {
+			n++
+			c.byAddr[item] = c.lru.PushBack(item)
+			item = mem.Addr(th.LoadU64(item + iNext))
+		}
+	}
+	c.count = n
+	return n
+}
+
+// RunWorkload executes the memslap profile: `clients` threads, `ops`
+// operations each, setPct percent SETs.
+func RunWorkload(rt *persist.Runtime, heap *mnemosyne.Heap, nbuckets, maxItems, clients, ops, setPct int, seed int64) *Cache {
+	c := New(rt, heap, nbuckets, maxItems)
+	workers := make([]sched.Worker, clients)
+	for w := 0; w < clients; w++ {
+		w := w
+		gen := workload.Memslap(seed+int64(w), 1<<14, setPct, 40)
+		workers[w] = sched.Steps(ops, func(int) {
+			op := gen.Next()
+			if op.Kind == workload.OpUpdate {
+				c.Set(w, op.Key, string(op.Value))
+			} else {
+				c.Get(w, op.Key)
+			}
+			rt.Thread(w).Compute(700)
+			rt.Thread(w).VLoad(0, 15)
+		})
+	}
+	sched.Run(workers, seed)
+	return c
+}

@@ -1,0 +1,478 @@
+// Package nstore reimplements N-store (Arulraj et al., SIGMOD 2015) with
+// its OPTWAL engine, the relational half of WHISPER's native tier
+// (§3.2.1).
+//
+// Following the paper:
+//
+//   - the database is partitioned: each client thread executes
+//     transactions against its own partition of every table;
+//   - tables, indexes and logs live in PM; thread stacks and transient
+//     state stay volatile (the WHISPER modification);
+//   - OPTWAL is an undo write-ahead log talking directly to PM: undo
+//     records use cacheable stores, flushes and fences, data is updated
+//     in place, and log entries are cleared per entry;
+//   - blocks from the persistent single-slab allocator carry a state
+//     variable walked FREE → VOLATILE → PERSISTENT; state-changing
+//     transactions write it three times, a self-dependency source (§5.1).
+package nstore
+
+import (
+	"encoding/binary"
+
+	"github.com/whisper-pm/whisper/internal/alloc"
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/sched"
+	"github.com/whisper-pm/whisper/internal/workload"
+)
+
+// Tuple layout: key u64 | 4 numeric attributes u64 | varchar[32].
+const (
+	tKey   = 0
+	tAttrs = 8
+	nAttrs = 4
+	tVar   = tAttrs + nAttrs*8
+	varLen = 32
+	tSize  = tVar + varLen
+)
+
+// Undo log geometry (per partition): descriptor {status, count} plus
+// fixed 96-byte records {addr u64, len u64, old data up to 80}.
+const (
+	walIdle      = uint64(0)
+	walActive    = uint64(1)
+	walCommitted = uint64(2)
+
+	walEntrySize = 96
+	walMaxData   = 80
+	walEntries   = 1024
+)
+
+// Config sizes a DB.
+type Config struct {
+	Partitions int // one per client thread
+	Buckets    int // index buckets per partition (default 1024)
+	SlabBytes  int // allocator arena per partition (default 8 MB)
+}
+
+func (c Config) withDefaults(threads int) Config {
+	if c.Partitions == 0 {
+		c.Partitions = threads
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 1024
+	}
+	if c.SlabBytes == 0 {
+		c.SlabBytes = 8 << 20
+	}
+	return c
+}
+
+// partition is one thread's shard: slab, index, undo log. The WAL is
+// circular: slots advance across transactions so log writes do not revisit
+// recently written lines (long reuse distance, like a real WAL).
+type partition struct {
+	slab    *alloc.SingleSlab
+	buckets mem.Addr // Buckets * 8 (persistent index)
+	walDesc mem.Addr // status u64 | generation u64 | start slot u64
+	walLog  mem.Addr
+	walNext int                 // next free slot (volatile, circular)
+	walGen  uint64              // current generation
+	index   map[uint64]mem.Addr // volatile key -> tuple (rebuilt on recover)
+}
+
+// DB is an N-store database instance.
+type DB struct {
+	rt    *persist.Runtime
+	cfg   Config
+	parts []*partition
+}
+
+// Open creates a database with cfg.Partitions partitions.
+func Open(rt *persist.Runtime, cfg Config) *DB {
+	cfg = cfg.withDefaults(rt.Threads())
+	db := &DB{rt: rt, cfg: cfg}
+	th := rt.Thread(0)
+	for i := 0; i < cfg.Partitions; i++ {
+		db.parts = append(db.parts, &partition{
+			slab:    alloc.NewSingleSlab(rt, th, cfg.SlabBytes),
+			buckets: rt.Dev.Map(cfg.Buckets * 8),
+			walDesc: rt.Dev.Map(16),
+			walLog:  rt.Dev.Map(walEntries * walEntrySize),
+			index:   make(map[uint64]mem.Addr),
+		})
+	}
+	return db
+}
+
+// Tx is an OPTWAL transaction on one partition.
+type Tx struct {
+	db    *DB
+	p     *partition
+	th    *persist.Thread
+	start int // first WAL slot of this transaction
+	n     int // undo entries
+	dirty []dirtyRange
+}
+
+type dirtyRange struct {
+	addr mem.Addr
+	size int
+}
+
+// Begin opens a transaction for thread tid on its partition.
+func (db *DB) Begin(tid int) *Tx {
+	th := db.rt.Thread(tid)
+	p := db.parts[tid%len(db.parts)]
+	th.TxBegin()
+	p.walGen++
+	th.StoreU64(p.walDesc, walActive)
+	th.StoreU64(p.walDesc+8, p.walGen)
+	th.StoreU64(p.walDesc+16, uint64(p.walNext))
+	th.FlushFence(p.walDesc, 24)
+	return &Tx{db: db, p: p, th: th, start: p.walNext}
+}
+
+func (p *partition) slotAddr(slot int) mem.Addr {
+	return p.walLog + mem.Addr((slot%walEntries)*walEntrySize)
+}
+
+// undo captures the old image of [a, a+size) before an in-place update.
+func (tx *Tx) undo(a mem.Addr, size int) {
+	for size > 0 {
+		n := size
+		if n > walMaxData {
+			n = walMaxData
+		}
+		if tx.n >= walEntries {
+			panic("nstore: WAL overflow")
+		}
+		// Records carry the generation in the length word's high half so
+		// recovery never trusts stale slots; entries are fenced in order,
+		// so a durable record implies all earlier records are durable.
+		e := tx.p.slotAddr(tx.start + tx.n)
+		old := tx.th.Load(a, n)
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[0:], uint64(a))
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(n)|tx.p.walGen<<32)
+		tx.th.Store(e, hdr[:])
+		tx.th.Store(e+16, old)
+		tx.th.Flush(e, 16+n)
+		tx.th.Fence()
+		tx.n++
+		a += mem.Addr(n)
+		size -= n
+	}
+}
+
+// write updates [a, a+len(data)) in place; the flush is deferred to
+// commit (OPTWAL/NVML behaviour the paper observes in §5.1).
+func (tx *Tx) write(a mem.Addr, data []byte) {
+	tx.th.Store(a, data)
+	tx.dirty = append(tx.dirty, dirtyRange{a, len(data)})
+}
+
+// Insert adds a tuple with the given key, attributes and varchar payload.
+func (tx *Tx) Insert(key uint64, attrs [nAttrs]uint64, varchar string) {
+	p, th := tx.p, tx.th
+	t := p.slab.Alloc(th, tSize)
+	if t == 0 {
+		panic("nstore: partition slab exhausted")
+	}
+	// N-store labels freshly allocated blocks: VOLATILE while being
+	// built, PERSISTENT once owned by the table — with the FREE->VOLATILE
+	// transition this is the three-write state pattern of §5.1.
+	p.slab.SetState(th, t, alloc.StateVolatile)
+
+	var buf [tSize]byte
+	binary.LittleEndian.PutUint64(buf[tKey:], key)
+	for i, v := range attrs {
+		binary.LittleEndian.PutUint64(buf[tAttrs+i*8:], v)
+	}
+	copy(buf[tVar:tSize-8], varchar) // the last word is the chain slot
+	th.Store(t, buf[:])
+	th.Flush(t, tSize)
+	th.Fence()
+	th.UserData(tSize)
+
+	p.slab.SetState(th, t, alloc.StatePersistent)
+
+	// Link into the persistent index chain under undo protection: the
+	// bucket pointer is the only index word mutated.
+	bucket := p.buckets + mem.Addr(int(key%uint64(tx.db.cfg.Buckets))*8)
+	tx.undo(bucket, 8)
+	head := th.LoadU64(bucket)
+	// Tuple's key field doubles as index chain via high half? No — keep a
+	// separate chain word: reuse attr slot? Simplest: tuples are unique
+	// per bucket chain stored in a chain header before the tuple.
+	_ = head
+	var ptr [8]byte
+	binary.LittleEndian.PutUint64(ptr[:], uint64(t))
+	tx.write(bucket, ptr[:])
+	// Chain: store the previous head in the tuple's last varchar word —
+	// reserved chain slot.
+	tx.undoFresh(t+tSize-8, head)
+
+	p.index[key] = t
+	th.VStore(0, 2)
+}
+
+// undoFresh writes a chain pointer into a freshly allocated tuple (no
+// undo needed: the block is reclaimed on abort via the state variable).
+func (tx *Tx) undoFresh(a mem.Addr, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	tx.write(a, buf[:])
+}
+
+// Update overwrites attribute idx and the varchar of the tuple with key.
+// Returns false if the key is absent.
+func (tx *Tx) Update(key uint64, idx int, val uint64, varchar string) bool {
+	p, th := tx.p, tx.th
+	t, ok := p.index[key]
+	th.VLoad(0, 1)
+	if !ok {
+		return false
+	}
+	// set_varchar/set_attr from Figure 2: undo then in-place write.
+	tx.undo(t+tAttrs+mem.Addr(idx*8), 8)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	tx.write(t+tAttrs+mem.Addr(idx*8), buf[:])
+
+	if varchar != "" {
+		vb := make([]byte, varLen-8) // last word is the chain slot
+		copy(vb, varchar)
+		tx.undo(t+tVar, len(vb))
+		tx.write(t+tVar, vb)
+	}
+	th.UserData(8 + varLen - 8)
+	return true
+}
+
+// Read returns attribute idx of the tuple with key.
+func (tx *Tx) Read(key uint64, idx int) (uint64, bool) {
+	p, th := tx.p, tx.th
+	t, ok := p.index[key]
+	th.VLoad(0, 1)
+	if !ok {
+		return 0, false
+	}
+	return th.LoadU64(t + tAttrs + mem.Addr(idx*8)), true
+}
+
+// Commit flushes data in place, persists the commit record, and clears
+// the log entries one epoch each.
+func (tx *Tx) Commit() {
+	th := tx.th
+	for _, d := range tx.dirty {
+		th.Flush(d.addr, d.size)
+	}
+	if len(tx.dirty) > 0 {
+		th.Fence()
+	}
+	th.StoreU64(tx.p.walDesc, walCommitted)
+	th.FlushFence(tx.p.walDesc, 8)
+	tx.clearLog()
+	th.TxEnd()
+}
+
+// Abort rolls back from the undo log (reverse order) and releases.
+func (tx *Tx) Abort() {
+	th := tx.th
+	for i := tx.n - 1; i >= 0; i-- {
+		e := tx.p.slotAddr(tx.start + i)
+		a := mem.Addr(th.LoadU64(e))
+		size := int(th.LoadU64(e+8) & 0xffffffff)
+		old := th.Load(e+16, size)
+		th.Store(a, old)
+		th.Flush(a, size)
+		th.Fence()
+	}
+	tx.clearLog()
+	th.TxEnd()
+}
+
+func (tx *Tx) clearLog() {
+	th := tx.th
+	for i := 0; i < tx.n; i++ {
+		e := tx.p.slotAddr(tx.start + i)
+		th.StoreU64(e, 0)
+		th.StoreU64(e+8, 0)
+		th.Flush(e, 16)
+		th.Fence()
+	}
+	th.StoreU64(tx.p.walDesc, walIdle)
+	th.FlushFence(tx.p.walDesc, 8)
+	tx.p.walNext = (tx.start + tx.n) % walEntries
+}
+
+// Recover rolls back uncommitted transactions in every partition and
+// rebuilds the volatile indexes from the persistent bucket chains.
+func (db *DB) Recover() {
+	th := db.rt.Thread(0)
+	for _, p := range db.parts {
+		status := th.LoadU64(p.walDesc)
+		gen := th.LoadU64(p.walDesc + 8)
+		start := int(th.LoadU64(p.walDesc+16)) % walEntries
+		p.walGen = gen
+		p.walNext = start
+		if status == walActive {
+			// Find the valid run of this generation's records, then undo
+			// newest-first.
+			n := 0
+			for n < walEntries {
+				e := p.slotAddr(start + n)
+				raw := th.LoadU64(e + 8)
+				if mem.Addr(th.LoadU64(e)) == 0 || raw>>32 != gen&0xffffffff {
+					break
+				}
+				n++
+			}
+			for i := n - 1; i >= 0; i-- {
+				e := p.slotAddr(start + i)
+				a := mem.Addr(th.LoadU64(e))
+				size := int(th.LoadU64(e+8) & 0xffffffff)
+				if a == 0 || size == 0 || size > walMaxData {
+					continue
+				}
+				old := th.Load(e+16, size)
+				th.Store(a, old)
+				th.Flush(a, size)
+				th.Fence()
+			}
+			// Clear the undone records.
+			for i := 0; i < n; i++ {
+				e := p.slotAddr(start + i)
+				th.StoreU64(e, 0)
+				th.StoreU64(e+8, 0)
+				th.Flush(e, 16)
+				th.Fence()
+			}
+		}
+		th.StoreU64(p.walDesc, walIdle)
+		th.FlushFence(p.walDesc, 8)
+
+		// Rebuild the index by walking bucket chains.
+		p.slab.Recover(th)
+		p.index = make(map[uint64]mem.Addr)
+		for b := 0; b < db.cfg.Buckets; b++ {
+			t := mem.Addr(th.LoadU64(p.buckets + mem.Addr(b*8)))
+			for t != 0 {
+				key := th.LoadU64(t + tKey)
+				if _, dup := p.index[key]; !dup {
+					p.index[key] = t
+				}
+				t = mem.Addr(th.LoadU64(t + tSize - 8))
+			}
+		}
+	}
+}
+
+// Partition returns partition i's tuple count (volatile index size).
+func (db *DB) Partition(i int) int { return len(db.parts[i].index) }
+
+// RunYCSB executes the YCSB-like profile (§4, Table 1: 4 clients, 80%
+// writes): each transaction performs opsPerTx operations on the client's
+// partition.
+func RunYCSB(rt *persist.Runtime, cfg Config, clients, txs, opsPerTx, writePct int, seed int64) *DB {
+	db := Open(rt, cfg)
+	// Preload a keyspace per partition.
+	keys := uint64(2048)
+	for c := 0; c < clients; c++ {
+		tx := db.Begin(c)
+		for k := uint64(0); k < 64; k++ {
+			tx.Insert(k, [nAttrs]uint64{k, k, k, k}, "init")
+		}
+		tx.Commit()
+	}
+	workers := make([]sched.Worker, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		gen := workload.NewYCSB(seed+int64(c), keys, writePct, 24)
+		workers[c] = sched.Steps(txs, func(int) {
+			tx := db.Begin(c)
+			for i := 0; i < opsPerTx; i++ {
+				op := gen.Next()
+				key := hashString(op.Key) % 2048
+				if op.Kind == workload.OpUpdate {
+					if !tx.Update(key, int(key%nAttrs), key, string(op.Value)) {
+						tx.Insert(key, [nAttrs]uint64{key, 0, 0, 0}, string(op.Value))
+					}
+				} else {
+					tx.Read(key, 0)
+				}
+				tx.th.Compute(2000)
+				// SQL executor, volatile index probes (Figure 6: ~8.7% PM).
+				tx.th.VLoad(0, 150)
+				tx.th.VStore(0, 45)
+			}
+			tx.Commit()
+		})
+	}
+	sched.Run(workers, seed)
+	return db
+}
+
+// RunTPCC executes the TPC-C-like profile (4 clients, 40% writes).
+func RunTPCC(rt *persist.Runtime, cfg Config, clients, txs int, seed int64) *DB {
+	db := Open(rt, cfg)
+	// Preload stock/district rows per partition.
+	for c := 0; c < clients; c++ {
+		tx := db.Begin(c)
+		for k := uint64(0); k < 128; k++ {
+			tx.Insert(k, [nAttrs]uint64{100, 0, 0, 0}, "stock")
+		}
+		tx.Commit()
+	}
+	var orderSeq uint64 = 1 << 20
+	workers := make([]sched.Worker, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		gen := workload.NewTPCC(seed+int64(c), clients, 128)
+		workers[c] = sched.Steps(txs, func(int) {
+			t := gen.Next()
+			tx := db.Begin(c)
+			switch t.Kind {
+			case workload.TPCCNewOrder:
+				// Insert the order row and one row per order line, and
+				// decrement stock.
+				orderSeq++
+				tx.Insert(orderSeq, [nAttrs]uint64{uint64(t.Warehouse), uint64(t.District), 0, 0}, "order")
+				for i, item := range t.Items {
+					orderSeq++
+					tx.Insert(orderSeq, [nAttrs]uint64{uint64(item), uint64(t.Quantity[i]), 0, 0}, "line")
+					if v, ok := tx.Read(uint64(item), 0); ok {
+						tx.Update(uint64(item), 0, v-uint64(t.Quantity[i]), "")
+					}
+				}
+			case workload.TPCCPayment:
+				// Warehouse YTD, district YTD, customer balance, plus a
+				// history-row insert.
+				tx.Update(uint64(t.Warehouse), 1, orderSeq, "")
+				tx.Update(uint64(t.District), 1, uint64(t.Warehouse), "payment")
+				tx.Update(uint64(16+t.District), 2, orderSeq, "")
+				orderSeq++
+				tx.Insert(orderSeq, [nAttrs]uint64{uint64(t.Warehouse), uint64(t.District), 0, 0}, "hist")
+			case workload.TPCCStockLevel, workload.TPCCOrderStatus:
+				for k := uint64(0); k < 10; k++ {
+					tx.Read(k, 0)
+				}
+			}
+			tx.th.Compute(15000)
+			tx.th.VLoad(0, 40)
+			tx.Commit()
+		})
+	}
+	sched.Run(workers, seed)
+	return db
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

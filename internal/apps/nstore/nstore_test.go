@@ -1,0 +1,181 @@
+package nstore
+
+import (
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/epoch"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmem"
+)
+
+func newDB(threads int) (*persist.Runtime, *DB) {
+	rt := persist.NewRuntime("nstore", "native", threads, persist.Config{})
+	return rt, Open(rt, Config{Buckets: 128, SlabBytes: 1 << 20})
+}
+
+func TestInsertRead(t *testing.T) {
+	_, db := newDB(1)
+	tx := db.Begin(0)
+	tx.Insert(42, [nAttrs]uint64{1, 2, 3, 4}, "hello")
+	if v, ok := tx.Read(42, 2); !ok || v != 3 {
+		t.Fatalf("Read = %v,%v", v, ok)
+	}
+	tx.Commit()
+	tx = db.Begin(0)
+	if v, ok := tx.Read(42, 0); !ok || v != 1 {
+		t.Fatalf("post-commit Read = %v,%v", v, ok)
+	}
+	tx.Commit()
+}
+
+func TestUpdateCommit(t *testing.T) {
+	_, db := newDB(1)
+	tx := db.Begin(0)
+	tx.Insert(7, [nAttrs]uint64{10, 0, 0, 0}, "v")
+	tx.Commit()
+
+	tx = db.Begin(0)
+	if !tx.Update(7, 0, 99, "updated") {
+		t.Fatal("update missed existing key")
+	}
+	tx.Commit()
+
+	tx = db.Begin(0)
+	v, _ := tx.Read(7, 0)
+	tx.Commit()
+	if v != 99 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	_, db := newDB(1)
+	tx := db.Begin(0)
+	tx.Insert(1, [nAttrs]uint64{5, 0, 0, 0}, "orig")
+	tx.Commit()
+
+	tx = db.Begin(0)
+	tx.Update(1, 0, 1000, "")
+	tx.Abort()
+
+	tx = db.Begin(0)
+	v, _ := tx.Read(1, 0)
+	tx.Commit()
+	if v != 5 {
+		t.Fatalf("abort left value %d, want 5", v)
+	}
+}
+
+func TestUpdateMissingKey(t *testing.T) {
+	_, db := newDB(1)
+	tx := db.Begin(0)
+	if tx.Update(404, 0, 1, "") {
+		t.Fatal("update of missing key succeeded")
+	}
+	tx.Commit()
+}
+
+func TestCrashUncommittedRollsBack(t *testing.T) {
+	rt, db := newDB(1)
+	tx := db.Begin(0)
+	tx.Insert(1, [nAttrs]uint64{5, 0, 0, 0}, "orig")
+	tx.Commit()
+
+	tx = db.Begin(0)
+	tx.Update(1, 0, 777, "")
+	// Force the in-place writes durable: worst case for undo logging.
+	for _, d := range tx.dirty {
+		tx.th.Flush(d.addr, d.size)
+	}
+	tx.th.Fence()
+	// Crash without commit.
+	rt.Crash(pmem.Strict, 3)
+	db.Recover()
+
+	tx = db.Begin(0)
+	v, ok := tx.Read(1, 0)
+	tx.Commit()
+	if !ok || v != 5 {
+		t.Fatalf("recovered value = %v,%v, want 5", v, ok)
+	}
+}
+
+func TestCrashCommittedSurvives(t *testing.T) {
+	rt, db := newDB(1)
+	tx := db.Begin(0)
+	tx.Insert(9, [nAttrs]uint64{123, 0, 0, 0}, "keep")
+	tx.Commit()
+	rt.Crash(pmem.Strict, 4)
+	db.Recover()
+	tx = db.Begin(0)
+	v, ok := tx.Read(9, 0)
+	tx.Commit()
+	if !ok || v != 123 {
+		t.Fatalf("committed tuple lost: %v,%v", v, ok)
+	}
+	if db.Partition(0) != 1 {
+		t.Fatalf("index rebuilt with %d tuples", db.Partition(0))
+	}
+}
+
+func TestStateVariableSelfDeps(t *testing.T) {
+	// §5.1: the block state variable written thrice per allocation causes
+	// self-dependencies.
+	rt, db := newDB(1)
+	for i := 0; i < 20; i++ {
+		tx := db.Begin(0)
+		tx.Insert(uint64(i), [nAttrs]uint64{0, 0, 0, 0}, "x")
+		tx.Commit()
+	}
+	a := epoch.Analyze(rt.Trace)
+	if a.SelfDepFraction() < 0.15 {
+		t.Errorf("self-dep fraction = %.2f, want substantial (paper: 0.27-0.40)", a.SelfDepFraction())
+	}
+}
+
+func TestYCSBWorkload(t *testing.T) {
+	rt := persist.NewRuntime("ycsb", "native", 2, persist.Config{})
+	db := RunYCSB(rt, Config{Buckets: 256, SlabBytes: 4 << 20}, 2, 10, 4, 80, 11)
+	if db.Partition(0) == 0 {
+		t.Fatal("no tuples in partition 0")
+	}
+	a := epoch.Analyze(rt.Trace)
+	// 2 preload txs + 20 workload txs.
+	if len(a.TxEpochCounts) != 22 {
+		t.Fatalf("transactions = %d", len(a.TxEpochCounts))
+	}
+	if a.MedianTxEpochs() < 10 {
+		t.Fatalf("median epochs/tx = %d, want tens (paper: 42)", a.MedianTxEpochs())
+	}
+}
+
+func TestTPCCWorkload(t *testing.T) {
+	rt := persist.NewRuntime("tpcc", "native", 2, persist.Config{})
+	RunTPCC(rt, Config{Buckets: 512, SlabBytes: 8 << 20}, 2, 10, 13)
+	a := epoch.Analyze(rt.Trace)
+	if len(a.TxEpochCounts) != 22 {
+		t.Fatalf("transactions = %d", len(a.TxEpochCounts))
+	}
+	// NewOrder transactions are an order of magnitude bigger than YCSB's.
+	max := 0
+	for _, n := range a.TxEpochCounts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 60 {
+		t.Fatalf("largest tx = %d epochs, want >= 60 (paper median: 197)", max)
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	_, db := newDB(2)
+	tx := db.Begin(0)
+	tx.Insert(5, [nAttrs]uint64{1, 0, 0, 0}, "p0")
+	tx.Commit()
+	tx = db.Begin(1)
+	if _, ok := tx.Read(5, 0); ok {
+		t.Fatal("partition 1 sees partition 0's tuple")
+	}
+	tx.Commit()
+}

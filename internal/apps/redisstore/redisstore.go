@@ -1,0 +1,209 @@
+// Package redisstore reimplements the NVML-enhanced Redis of WHISPER
+// (§3.2.2, github.com/pmem/redis): a REmote DIctionary Server storing
+// string keys and values in a persistent hash table with chaining,
+// accessed through pmemobj-style undo-log transactions, served by a
+// single-threaded event loop. The paper drives it with redis-cli's
+// lru-test over one million keys (Table 1: 1.3 M epochs/s, Figure 3:
+// median 6 epochs/tx, Figure 5: ~82.5% self-dependencies).
+package redisstore
+
+import (
+	"encoding/binary"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/nvml"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/workload"
+)
+
+// Entry layout: hash u64 | keyLen u32 | valLen u32 | next u64 | key... | val...
+const (
+	eHash    = 0
+	eLens    = 8
+	eNext    = 16
+	eData    = 24
+	maxKV    = 96 // key+value bytes per entry (lru-test uses short strings)
+	eSize    = eData + maxKV
+	rootSlot = 2
+)
+
+// Store is the persistent dictionary.
+type Store struct {
+	rt      *persist.Runtime
+	pool    *nvml.Pool
+	buckets mem.Addr
+	nbucket uint64
+	// serverTID is the event-loop thread: Redis is single-threaded, so
+	// every command executes on it regardless of which client sent it.
+	serverTID int
+	count     int
+}
+
+// New creates a store with nbuckets chains.
+func New(rt *persist.Runtime, pool *nvml.Pool, nbuckets int) *Store {
+	s := &Store{rt: rt, pool: pool, nbucket: uint64(nbuckets)}
+	th := rt.Thread(0)
+	pool.Run(th, func(tx *nvml.Tx) error {
+		s.buckets = tx.Alloc(nbuckets * 8)
+		return nil
+	})
+	pool.SetRoot(th, rootSlot, s.buckets)
+	return s
+}
+
+// Attach reopens a store over a recovered pool.
+func Attach(rt *persist.Runtime, pool *nvml.Pool, nbuckets int) *Store {
+	th := rt.Thread(0)
+	return &Store{rt: rt, pool: pool, nbucket: uint64(nbuckets),
+		buckets: pool.Root(th, rootSlot)}
+}
+
+func fnv(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func (s *Store) bucketAddr(h uint64) mem.Addr {
+	return s.buckets + mem.Addr((h%s.nbucket)*8)
+}
+
+// Set stores key -> value durably (the SET command).
+func (s *Store) Set(key, value string) error {
+	if len(key)+len(value) > maxKV {
+		value = value[:maxKV-len(key)]
+	}
+	th := s.rt.Thread(s.serverTID)
+	h := fnv(key)
+	return s.pool.Run(th, func(tx *nvml.Tx) error {
+		bucket := s.bucketAddr(h)
+		e := mem.Addr(tx.ReadU64(bucket))
+		for e != 0 {
+			if tx.ReadU64(e+eHash) == h && s.entryKey(tx, e) == key {
+				// Update in place: undo-log the value region then write.
+				kl := int(tx.ReadU64(e+eLens) & 0xffffffff)
+				tx.AddRange(e+eLens, 8)
+				var lens [8]byte
+				binary.LittleEndian.PutUint32(lens[0:], uint32(kl))
+				binary.LittleEndian.PutUint32(lens[4:], uint32(len(value)))
+				tx.Write(e+eLens, lens[:])
+				tx.AddRange(e+eData+mem.Addr(kl), len(value))
+				tx.Write(e+eData+mem.Addr(kl), []byte(value))
+				th.UserData(len(value))
+				return nil
+			}
+			e = mem.Addr(tx.ReadU64(e + eNext))
+		}
+		// Fresh entry at the chain head.
+		ne := tx.Alloc(eSize)
+		buf := make([]byte, eData+len(key)+len(value))
+		binary.LittleEndian.PutUint64(buf[eHash:], h)
+		binary.LittleEndian.PutUint32(buf[eLens:], uint32(len(key)))
+		binary.LittleEndian.PutUint32(buf[eLens+4:], uint32(len(value)))
+		binary.LittleEndian.PutUint64(buf[eNext:], tx.ReadU64(bucket))
+		copy(buf[eData:], key)
+		copy(buf[eData+len(key):], value)
+		tx.Write(ne, buf)
+		tx.SetU64(bucket, uint64(ne))
+		th.UserData(len(key) + len(value))
+		s.count++
+		th.VStore(0, 2)
+		return nil
+	})
+}
+
+func (s *Store) entryKey(tx *nvml.Tx, e mem.Addr) string {
+	kl := int(tx.ReadU64(e+eLens) & 0xffffffff)
+	return string(tx.Read(e+eData, kl))
+}
+
+// Get returns the value for key (the GET command).
+func (s *Store) Get(key string) (string, bool) {
+	th := s.rt.Thread(s.serverTID)
+	h := fnv(key)
+	e := mem.Addr(th.LoadU64(s.bucketAddr(h)))
+	for e != 0 {
+		if th.LoadU64(e+eHash) == h {
+			lens := th.LoadU64(e + eLens)
+			kl := int(lens & 0xffffffff)
+			vl := int(lens >> 32)
+			if string(th.Load(e+eData, kl)) == key {
+				return string(th.Load(e+eData+mem.Addr(kl), vl)), true
+			}
+		}
+		e = mem.Addr(th.LoadU64(e + eNext))
+	}
+	th.VLoad(0, 2)
+	return "", false
+}
+
+// Del removes key (the DEL command); returns whether it existed.
+func (s *Store) Del(key string) (bool, error) {
+	th := s.rt.Thread(s.serverTID)
+	h := fnv(key)
+	found := false
+	err := s.pool.Run(th, func(tx *nvml.Tx) error {
+		prev := s.bucketAddr(h)
+		e := mem.Addr(tx.ReadU64(prev))
+		for e != 0 {
+			if tx.ReadU64(e+eHash) == h && s.entryKey(tx, e) == key {
+				tx.SetU64(prev, tx.ReadU64(e+eNext))
+				tx.Free(e)
+				found = true
+				s.count--
+				return nil
+			}
+			prev = e + eNext
+			e = mem.Addr(tx.ReadU64(prev))
+		}
+		return nil
+	})
+	return found, err
+}
+
+// Len returns the volatile entry count.
+func (s *Store) Len() int { return s.count }
+
+// CountPersistent walks the chains (recovery ground truth).
+func (s *Store) CountPersistent() int {
+	th := s.rt.Thread(s.serverTID)
+	n := 0
+	for b := uint64(0); b < s.nbucket; b++ {
+		e := mem.Addr(th.LoadU64(s.buckets + mem.Addr(b*8)))
+		for e != 0 {
+			n++
+			e = mem.Addr(th.LoadU64(e + eNext))
+		}
+	}
+	s.count = n
+	return n
+}
+
+// RunWorkload executes the lru-test profile over `keys` keys with `ops`
+// operations, all on the single server thread (Redis's event loop).
+func RunWorkload(rt *persist.Runtime, pool *nvml.Pool, nbuckets int, keys uint64, ops int, seed int64) *Store {
+	s := New(rt, pool, nbuckets)
+	gen := workload.NewLRUTest(seed, keys)
+	th := rt.Thread(s.serverTID)
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpInsert:
+			s.Set(op.Key, string(op.Value))
+		default:
+			s.Get(op.Key)
+		}
+		th.Compute(4000)
+		// Event loop, RESP protocol parsing, reply buffers (Figure 6:
+		// only ~0.74% of redis accesses touch PM).
+		th.VLoad(0, 1050)
+		th.VStore(0, 350)
+	}
+	return s
+}

@@ -1,0 +1,262 @@
+package vacation
+
+import (
+	"encoding/binary"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/mnemosyne"
+)
+
+// Persistent red-black tree, the index structure Vacation uses for its
+// manager tables (§3.2.2). All node accesses go through the enclosing
+// Mnemosyne transaction so rotations and recolorings are redo-logged and
+// atomic with the reservation they belong to.
+//
+// Node layout: key u64 | value u64 | left u64 | right u64 | parent u64 |
+// color u64 (0 = black, 1 = red).
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbLeft   = 16
+	rbRight  = 24
+	rbParent = 32
+	rbColor  = 40
+	rbSize   = 48
+
+	black = uint64(0)
+	red   = uint64(1)
+)
+
+// RBTree is a persistent red-black tree rooted at a persistent word.
+type RBTree struct {
+	h *mnemosyne.Heap
+	// rootPtr is the persistent word holding the root node address.
+	rootPtr mem.Addr
+}
+
+// NewRBTree allocates the tree's persistent root word.
+func NewRBTree(h *mnemosyne.Heap, tx *mnemosyne.Tx) *RBTree {
+	t := &RBTree{h: h, rootPtr: tx.Alloc(8)}
+	tx.WriteU64(t.rootPtr, 0)
+	return t
+}
+
+// AttachRBTree reopens a tree whose root word is at rootPtr.
+func AttachRBTree(h *mnemosyne.Heap, rootPtr mem.Addr) *RBTree {
+	return &RBTree{h: h, rootPtr: rootPtr}
+}
+
+// RootPtr returns the persistent root word address (for root directories).
+func (t *RBTree) RootPtr() mem.Addr { return t.rootPtr }
+
+func (t *RBTree) root(tx *mnemosyne.Tx) mem.Addr { return mem.Addr(tx.ReadU64(t.rootPtr)) }
+
+func field(tx *mnemosyne.Tx, n mem.Addr, off mem.Addr) uint64 { return tx.ReadU64(n + off) }
+
+func setField(tx *mnemosyne.Tx, n mem.Addr, off mem.Addr, v uint64) { tx.WriteU64(n+off, v) }
+
+// Lookup returns the value stored under key.
+func (t *RBTree) Lookup(tx *mnemosyne.Tx, key uint64) (uint64, bool) {
+	n := t.root(tx)
+	for n != 0 {
+		k := field(tx, n, rbKey)
+		switch {
+		case key == k:
+			return field(tx, n, rbVal), true
+		case key < k:
+			n = mem.Addr(field(tx, n, rbLeft))
+		default:
+			n = mem.Addr(field(tx, n, rbRight))
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key -> value; if the key exists its value is overwritten.
+// Returns the node address.
+func (t *RBTree) Insert(tx *mnemosyne.Tx, key, value uint64) mem.Addr {
+	var parent mem.Addr
+	n := t.root(tx)
+	for n != 0 {
+		parent = n
+		k := field(tx, n, rbKey)
+		switch {
+		case key == k:
+			setField(tx, n, rbVal, value)
+			return n
+		case key < k:
+			n = mem.Addr(field(tx, n, rbLeft))
+		default:
+			n = mem.Addr(field(tx, n, rbRight))
+		}
+	}
+	node := tx.Alloc(rbSize)
+	var buf [rbSize]byte
+	binary.LittleEndian.PutUint64(buf[rbKey:], key)
+	binary.LittleEndian.PutUint64(buf[rbVal:], value)
+	binary.LittleEndian.PutUint64(buf[rbParent:], uint64(parent))
+	binary.LittleEndian.PutUint64(buf[rbColor:], red)
+	tx.Write(node, buf[:])
+
+	if parent == 0 {
+		tx.WriteU64(t.rootPtr, uint64(node))
+	} else if key < field(tx, parent, rbKey) {
+		setField(tx, parent, rbLeft, uint64(node))
+	} else {
+		setField(tx, parent, rbRight, uint64(node))
+	}
+	t.fixup(tx, node)
+	return node
+}
+
+// fixup restores the red-black invariants after inserting the red node n.
+func (t *RBTree) fixup(tx *mnemosyne.Tx, n mem.Addr) {
+	for {
+		parent := mem.Addr(field(tx, n, rbParent))
+		if parent == 0 || field(tx, parent, rbColor) == black {
+			break
+		}
+		grand := mem.Addr(field(tx, parent, rbParent))
+		if grand == 0 {
+			break
+		}
+		var uncle mem.Addr
+		parentIsLeft := mem.Addr(field(tx, grand, rbLeft)) == parent
+		if parentIsLeft {
+			uncle = mem.Addr(field(tx, grand, rbRight))
+		} else {
+			uncle = mem.Addr(field(tx, grand, rbLeft))
+		}
+		if uncle != 0 && field(tx, uncle, rbColor) == red {
+			// Case 1: recolor and ascend.
+			setField(tx, parent, rbColor, black)
+			setField(tx, uncle, rbColor, black)
+			setField(tx, grand, rbColor, red)
+			n = grand
+			continue
+		}
+		if parentIsLeft {
+			if mem.Addr(field(tx, parent, rbRight)) == n {
+				// Case 2: rotate parent left, fall into case 3.
+				t.rotateLeft(tx, parent)
+				n, parent = parent, n
+			}
+			setField(tx, parent, rbColor, black)
+			setField(tx, grand, rbColor, red)
+			t.rotateRight(tx, grand)
+		} else {
+			if mem.Addr(field(tx, parent, rbLeft)) == n {
+				t.rotateRight(tx, parent)
+				n, parent = parent, n
+			}
+			setField(tx, parent, rbColor, black)
+			setField(tx, grand, rbColor, red)
+			t.rotateLeft(tx, grand)
+		}
+		break
+	}
+	root := t.root(tx)
+	if root != 0 {
+		setField(tx, root, rbColor, black)
+	}
+}
+
+func (t *RBTree) rotateLeft(tx *mnemosyne.Tx, x mem.Addr) {
+	y := mem.Addr(field(tx, x, rbRight))
+	yl := field(tx, y, rbLeft)
+	setField(tx, x, rbRight, yl)
+	if yl != 0 {
+		setField(tx, mem.Addr(yl), rbParent, uint64(x))
+	}
+	t.replaceChild(tx, x, y)
+	setField(tx, y, rbLeft, uint64(x))
+	setField(tx, x, rbParent, uint64(y))
+}
+
+func (t *RBTree) rotateRight(tx *mnemosyne.Tx, x mem.Addr) {
+	y := mem.Addr(field(tx, x, rbLeft))
+	yr := field(tx, y, rbRight)
+	setField(tx, x, rbLeft, yr)
+	if yr != 0 {
+		setField(tx, mem.Addr(yr), rbParent, uint64(x))
+	}
+	t.replaceChild(tx, x, y)
+	setField(tx, y, rbRight, uint64(x))
+	setField(tx, x, rbParent, uint64(y))
+}
+
+// replaceChild makes y take x's place under x's parent.
+func (t *RBTree) replaceChild(tx *mnemosyne.Tx, x, y mem.Addr) {
+	p := mem.Addr(field(tx, x, rbParent))
+	setField(tx, y, rbParent, uint64(p))
+	if p == 0 {
+		tx.WriteU64(t.rootPtr, uint64(y))
+	} else if mem.Addr(field(tx, p, rbLeft)) == x {
+		setField(tx, p, rbLeft, uint64(y))
+	} else {
+		setField(tx, p, rbRight, uint64(y))
+	}
+}
+
+// Walk visits every key/value in order.
+func (t *RBTree) Walk(tx *mnemosyne.Tx, fn func(key, value uint64)) {
+	t.walk(tx, t.root(tx), fn)
+}
+
+func (t *RBTree) walk(tx *mnemosyne.Tx, n mem.Addr, fn func(key, value uint64)) {
+	if n == 0 {
+		return
+	}
+	t.walk(tx, mem.Addr(field(tx, n, rbLeft)), fn)
+	fn(field(tx, n, rbKey), field(tx, n, rbVal))
+	t.walk(tx, mem.Addr(field(tx, n, rbRight)), fn)
+}
+
+// CheckInvariants validates binary-search order, red-red absence and
+// black-height balance; it returns false on any violation. Test helper.
+func (t *RBTree) CheckInvariants(tx *mnemosyne.Tx) bool {
+	root := t.root(tx)
+	if root == 0 {
+		return true
+	}
+	if field(tx, root, rbColor) != black {
+		return false
+	}
+	ok := true
+	var last *uint64
+	t.Walk(tx, func(k, _ uint64) {
+		if last != nil && k <= *last {
+			ok = false
+		}
+		kk := k
+		last = &kk
+	})
+	if !ok {
+		return false
+	}
+	_, ok = t.blackHeight(tx, root)
+	return ok
+}
+
+func (t *RBTree) blackHeight(tx *mnemosyne.Tx, n mem.Addr) (int, bool) {
+	if n == 0 {
+		return 1, true
+	}
+	l, r := mem.Addr(field(tx, n, rbLeft)), mem.Addr(field(tx, n, rbRight))
+	if field(tx, n, rbColor) == red {
+		for _, c := range []mem.Addr{l, r} {
+			if c != 0 && field(tx, c, rbColor) == red {
+				return 0, false // red-red violation
+			}
+		}
+	}
+	lh, lok := t.blackHeight(tx, l)
+	rh, rok := t.blackHeight(tx, r)
+	if !lok || !rok || lh != rh {
+		return 0, false
+	}
+	if field(tx, n, rbColor) == black {
+		lh++
+	}
+	return lh, true
+}

@@ -1,0 +1,286 @@
+// Package vacation reimplements Vacation from the STAMP suite as modified
+// for WHISPER (§3.2.2): an OLTP travel-reservation system whose red-black
+// trees and linked lists live in persistent memory via Mnemosyne durable
+// transactions. The WHISPER port fixed stray non-transactional updates and
+// made every PM access atomic; the global car/flight/room counters updated
+// inside transactions are the paper's example source of
+// cross-dependencies (§5.1).
+package vacation
+
+import (
+	"encoding/binary"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/mnemosyne"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/sched"
+	"github.com/whisper-pm/whisper/internal/workload"
+)
+
+// Resource tables.
+const (
+	TableCar = iota
+	TableFlight
+	TableRoom
+	numTables
+)
+
+// Resource record layout: numFree u64 | numTotal u64 | price u64.
+const (
+	resFree  = 0
+	resTotal = 8
+	resPrice = 16
+	resSize  = 24
+)
+
+// Reservation list node: table u64 | id u64 | next u64.
+const (
+	rvTable = 0
+	rvID    = 8
+	rvNext  = 16
+	rvSize  = 24
+)
+
+// Manager is the travel-reservation system.
+type Manager struct {
+	rt   *persist.Runtime
+	heap *mnemosyne.Heap
+
+	tables    [numTables]*RBTree
+	customers *RBTree // customer id -> reservation list head node
+
+	// counters is a persistent array of per-table totals, the shared
+	// variables that produce cross-thread WAW dependencies.
+	counters mem.Addr
+}
+
+// NewManager builds the manager and seeds `relations` resources per table
+// with `capacity` slots each.
+func NewManager(rt *persist.Runtime, heap *mnemosyne.Heap, relations int, capacity uint64) *Manager {
+	m := &Manager{rt: rt, heap: heap}
+	th := rt.Thread(0)
+	heap.Run(th, func(tx *mnemosyne.Tx) error {
+		for i := range m.tables {
+			m.tables[i] = NewRBTree(heap, tx)
+		}
+		m.customers = NewRBTree(heap, tx)
+		m.counters = tx.Alloc(numTables * 8)
+		return nil
+	})
+	// Seed resources in batched transactions (vacation's setup phase).
+	const batch = 32
+	for start := 0; start < relations; start += batch {
+		end := start + batch
+		if end > relations {
+			end = relations
+		}
+		heap.Run(th, func(tx *mnemosyne.Tx) error {
+			for id := start; id < end; id++ {
+				for tbl := range m.tables {
+					rec := tx.Alloc(resSize)
+					var buf [resSize]byte
+					binary.LittleEndian.PutUint64(buf[resFree:], capacity)
+					binary.LittleEndian.PutUint64(buf[resTotal:], capacity)
+					binary.LittleEndian.PutUint64(buf[resPrice:], 100+uint64(id%400))
+					tx.Write(rec, buf[:])
+					m.tables[tbl].Insert(tx, uint64(id), uint64(rec))
+				}
+			}
+			for tbl := 0; tbl < numTables; tbl++ {
+				tx.WriteU64(m.counters+mem.Addr(tbl*8), uint64(end)*capacity)
+			}
+			return nil
+		})
+	}
+	return m
+}
+
+// Reserve books one unit of (table, id) for customer in a durable
+// transaction. Returns false when sold out or unknown.
+func (m *Manager) Reserve(tid int, customer uint64, table int, id uint64) (bool, error) {
+	th := m.rt.Thread(tid)
+	ok := false
+	err := m.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		rec, found := m.tables[table].Lookup(tx, id)
+		th.VLoad(0, 4)
+		if !found {
+			return nil
+		}
+		free := tx.ReadU64(mem.Addr(rec) + resFree)
+		if free == 0 {
+			return nil
+		}
+		tx.WriteU64(mem.Addr(rec)+resFree, free-1)
+
+		// Append the reservation to the customer's list (allocate the
+		// customer node on first use).
+		head, _ := m.customers.Lookup(tx, customer)
+		rv := tx.Alloc(rvSize)
+		var buf [rvSize]byte
+		binary.LittleEndian.PutUint64(buf[rvTable:], uint64(table))
+		binary.LittleEndian.PutUint64(buf[rvID:], id)
+		binary.LittleEndian.PutUint64(buf[rvNext:], head)
+		tx.Write(rv, buf[:])
+		m.customers.Insert(tx, customer, uint64(rv))
+
+		// The global counter update: the cross-dependency generator.
+		cnt := m.counters + mem.Addr(table*8)
+		tx.WriteU64(cnt, tx.ReadU64(cnt)-1)
+		th.UserData(rvSize + 8)
+		ok = true
+		return nil
+	})
+	return ok, err
+}
+
+// Cancel releases the customer's most recent reservation in table.
+func (m *Manager) Cancel(tid int, customer uint64, table int) (bool, error) {
+	th := m.rt.Thread(tid)
+	ok := false
+	err := m.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		head, found := m.customers.Lookup(tx, customer)
+		if !found || head == 0 {
+			return nil
+		}
+		// Find the first reservation in this table.
+		prevPtr := mem.Addr(0)
+		rv := mem.Addr(head)
+		for rv != 0 {
+			if tx.ReadU64(rv+rvTable) == uint64(table) {
+				break
+			}
+			prevPtr = rv + rvNext
+			rv = mem.Addr(tx.ReadU64(rv + rvNext))
+		}
+		if rv == 0 {
+			return nil
+		}
+		next := tx.ReadU64(rv + rvNext)
+		if prevPtr == 0 {
+			m.customers.Insert(tx, customer, next)
+		} else {
+			tx.WriteU64(prevPtr, next)
+		}
+		id := tx.ReadU64(rv + rvID)
+		if rec, found := m.tables[table].Lookup(tx, id); found {
+			free := mem.Addr(rec) + resFree
+			tx.WriteU64(free, tx.ReadU64(free)+1)
+		}
+		cnt := m.counters + mem.Addr(table*8)
+		tx.WriteU64(cnt, tx.ReadU64(cnt)+1)
+		ok = true
+		return nil
+	})
+	return ok, err
+}
+
+// AddInventory grows (or shrinks) the capacity of (table, id).
+func (m *Manager) AddInventory(tid int, table int, id, delta uint64) error {
+	th := m.rt.Thread(tid)
+	return m.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		rec, found := m.tables[table].Lookup(tx, id)
+		if !found {
+			return nil
+		}
+		free := mem.Addr(rec) + resFree
+		total := mem.Addr(rec) + resTotal
+		tx.WriteU64(free, tx.ReadU64(free)+delta)
+		tx.WriteU64(total, tx.ReadU64(total)+delta)
+		cnt := m.counters + mem.Addr(table*8)
+		tx.WriteU64(cnt, tx.ReadU64(cnt)+delta)
+		return nil
+	})
+}
+
+// Counter returns the persistent global counter of table.
+func (m *Manager) Counter(tid int, table int) uint64 {
+	return m.rt.Thread(tid).LoadU64(m.counters + mem.Addr(table*8))
+}
+
+// FreeSlots returns the free units for (table, id).
+func (m *Manager) FreeSlots(tid int, table int, id uint64) (uint64, bool) {
+	th := m.rt.Thread(tid)
+	var out uint64
+	found := false
+	m.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		if rec, ok := m.tables[table].Lookup(tx, id); ok {
+			out = tx.ReadU64(mem.Addr(rec) + resFree)
+			found = true
+		}
+		return nil
+	})
+	return out, found
+}
+
+// Reservations returns how many reservations customer holds.
+func (m *Manager) Reservations(tid int, customer uint64) int {
+	th := m.rt.Thread(tid)
+	n := 0
+	m.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		head, found := m.customers.Lookup(tx, customer)
+		if !found {
+			return nil
+		}
+		rv := mem.Addr(head)
+		for rv != 0 {
+			n++
+			rv = mem.Addr(tx.ReadU64(rv + rvNext))
+		}
+		return nil
+	})
+	return n
+}
+
+// CheckTrees validates the red-black invariants of every table. Test
+// helper.
+func (m *Manager) CheckTrees(tid int) bool {
+	th := m.rt.Thread(tid)
+	ok := true
+	m.heap.Run(th, func(tx *mnemosyne.Tx) error {
+		for _, t := range m.tables {
+			if !t.CheckInvariants(tx) {
+				ok = false
+			}
+		}
+		if !m.customers.CheckInvariants(tx) {
+			ok = false
+		}
+		return nil
+	})
+	return ok
+}
+
+// RunWorkload executes the vacation client mix: `clients` threads, `txs`
+// transactions each, against `relations` tuples per table.
+func RunWorkload(rt *persist.Runtime, heap *mnemosyne.Heap, relations, clients, txs int, seed int64) *Manager {
+	m := NewManager(rt, heap, relations, 8)
+	workers := make([]sched.Worker, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		gen := workload.NewVacation(seed+int64(c), 256, relations)
+		workers[c] = sched.Steps(txs, func(int) {
+			t := gen.Next()
+			switch t.Kind {
+			case workload.VacationReserve:
+				// STAMP's MAKE_RESERVATION queries candidates first, then
+				// books the chosen one; the queries are read-only
+				// transactions.
+				for _, obj := range t.Objects {
+					m.FreeSlots(c, t.Table, uint64(obj))
+				}
+				m.Reserve(c, uint64(t.Customer), t.Table, uint64(t.Objects[0]))
+			case workload.VacationCancel:
+				m.Cancel(c, uint64(t.Customer), t.Table)
+			case workload.VacationUpdate:
+				m.AddInventory(c, t.Table, uint64(t.Objects[0]), 2)
+			}
+			rt.Thread(c).Compute(10000)
+			// STM bookkeeping, client tables, itinerary building: vacation
+			// touches PM for only ~0.36% of its accesses (Figure 6).
+			rt.Thread(c).VLoad(0, 140000)
+			rt.Thread(c).VStore(0, 46000)
+		})
+	}
+	sched.Run(workers, seed)
+	return m
+}

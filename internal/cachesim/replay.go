@@ -1,0 +1,25 @@
+package cachesim
+
+import "github.com/whisper-pm/whisper/internal/trace"
+
+// ReplayTrace drives the hierarchy with every memory event in a trace.
+// Volatile accesses participate only when the trace was recorded with
+// per-event volatile tracing (persist.Config.TraceVolatile); aggregated
+// volatile counters cannot be replayed through caches and are ignored
+// here (Figure 6 uses the counters directly).
+func ReplayTrace(h *Hierarchy, tr *trace.Trace) Stats {
+	for _, e := range tr.Events {
+		tid := int(e.TID) % h.cfg.Threads
+		switch e.Kind {
+		case trace.KStore, trace.KVStore:
+			h.Write(tid, e.Addr, int(e.Size))
+		case trace.KLoad, trace.KVLoad:
+			h.Read(tid, e.Addr, int(e.Size))
+		case trace.KStoreNT:
+			h.WriteNT(tid, e.Addr, int(e.Size))
+		case trace.KFlush:
+			h.Flush(tid, e.Addr, int(e.Size))
+		}
+	}
+	return h.Stats()
+}

@@ -1,0 +1,302 @@
+package hops
+
+import (
+	"fmt"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// Model selects the persistence implementation for the Figure 10 replay.
+type Model int
+
+const (
+	// X86NVM is the baseline: clwb + sfence with durability at the NVM
+	// device — every fence stalls for the full PM write latency.
+	X86NVM Model = iota
+	// X86PWQ is clwb + sfence with a persistent write queue at the memory
+	// controller: fences stall only until the MC accepts the writes.
+	X86PWQ
+	// HOPSNVM is HOPS with durability at NVM: ofences are local TS bumps,
+	// persist buffers drain in the background, and only dfences stall.
+	HOPSNVM
+	// HOPSPWQ is HOPS with a persistent write queue: the rare dfence
+	// stalls shrink to MC acceptance latency.
+	HOPSPWQ
+	// Ideal ignores all ordering and durability (not crash-consistent):
+	// the paper's upper bound.
+	Ideal
+)
+
+var modelNames = [...]string{
+	X86NVM: "x86-64 (NVM)", X86PWQ: "x86-64 (PWQ)",
+	HOPSNVM: "HOPS (NVM)", HOPSPWQ: "HOPS (PWQ)", Ideal: "IDEAL (NON-CC)",
+}
+
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Models lists the Figure 10 configurations in presentation order.
+var Models = []Model{X86NVM, X86PWQ, HOPSNVM, HOPSPWQ, Ideal}
+
+// Result is the outcome of replaying one trace under one model.
+type Result struct {
+	Model Model
+	// Cycles is the modelled execution time.
+	Cycles mem.Cycles
+	// StallCycles is the portion spent stalled on fences or
+	// persist-buffer pressure.
+	StallCycles mem.Cycles
+	// Fences is the number of ordering points replayed; DFences the
+	// number treated as durability fences (HOPS models only).
+	Fences  int
+	DFences int
+}
+
+// Replay reruns tr's instruction stream under the given persistence model.
+//
+// The trace was produced by an execution whose clock charged each event a
+// known cost (see persist.Thread); everything else in the inter-event gaps
+// is application compute, volatile traffic, and loads. Replay keeps that
+// compute identical and substitutes each model's ordering/durability
+// behaviour for the recorded fence costs — the same-work, different-
+// persistence-hardware comparison of Figure 10. Crucially, compute time
+// lets the HOPS persist buffers drain in the background, which is where
+// HOPS's advantage comes from.
+//
+// For the HOPS models, the last fence before each KTxEnd is a dfence
+// (durability at commit) and fences outside any transaction are
+// conservatively dfences; all other fences become ofences (Figure 8).
+func Replay(tr *trace.Trace, model Model, cfg Config, lat mem.Latency) Result {
+	res := Result{Model: model}
+	dfence := markDurabilityFences(tr)
+
+	// origPending mirrors pmem.Device.PendingFlushes exactly (distinct
+	// CLWB'd lines since the last fence): it reconstructs the cost the
+	// original execution charged each fence, independent of the model
+	// being replayed. modelPending is the x86 models' own drain set and
+	// additionally includes NT-store lines waiting in the WCB.
+	origPending := make(map[int32]map[mem.Line]bool)
+	modelPending := make(map[int32]map[mem.Line]bool)
+	getSet := func(m map[int32]map[mem.Line]bool, tid int32) map[mem.Line]bool {
+		p := m[tid]
+		if p == nil {
+			p = make(map[mem.Line]bool)
+			m[tid] = p
+		}
+		return p
+	}
+
+	// Per-thread HOPS persist buffers: completion times of buffered
+	// entries (FIFO), rate-limited by the MC drain interval.
+	pbs := make(map[int32][]mem.Cycles)
+
+	persistLat := lat.PMCycles
+	if model == X86PWQ || model == HOPSPWQ {
+		persistLat = lat.MCQueue
+	}
+	pipe := cfg.MCPipeline
+	if pipe == 0 {
+		pipe = 4
+	}
+	drainInterval := mem.Cycles(int(persistLat) / (cfg.MCs * pipe))
+	if drainInterval == 0 {
+		drainInterval = 1
+	}
+
+	ooo := mem.Cycles(cfg.OOOWidth)
+	if ooo == 0 {
+		ooo = 4
+	}
+
+	var now mem.Cycles
+	var prevTime mem.Time
+	if len(tr.Events) > 0 {
+		prevTime = tr.Events[0].Time
+	}
+
+	for i, e := range tr.Events {
+		// Recover pure compute: the recorded gap minus the cost the
+		// original execution charged for this event.
+		gap := lat.ToCycles(e.Time - prevTime)
+		orig := originalCharge(e, lat, getSet(origPending, e.TID))
+		if gap > orig {
+			// Compute executes on the OOO core; fences (substituted below
+			// per model) serialize.
+			now += (gap - orig) / ooo
+		}
+		prevTime = e.Time
+
+		// Maintain the original execution's pending-flush bookkeeping
+		// regardless of model.
+		switch e.Kind {
+		case trace.KFlush:
+			for _, l := range mem.Lines(e.Addr, int(e.Size)) {
+				getSet(origPending, e.TID)[l] = true
+			}
+		case trace.KFence:
+			delete(origPending, e.TID)
+		}
+
+		switch e.Kind {
+		case trace.KStore, trace.KStoreNT:
+			now += lat.StoreCycles
+			if e.Kind == trace.KStoreNT {
+				now++
+			}
+			switch model {
+			case X86NVM, X86PWQ:
+				if e.Kind == trace.KStoreNT {
+					for _, l := range mem.Lines(e.Addr, int(e.Size)) {
+						getSet(modelPending, e.TID)[l] = true
+					}
+				}
+			case HOPSNVM, HOPSPWQ:
+				pb := pbs[e.TID]
+				for range mem.Lines(e.Addr, int(e.Size)) {
+					// Retire entries completed in the background.
+					for len(pb) > 0 && pb[0] <= now {
+						pb = pb[1:]
+					}
+					if len(pb) >= cfg.PBEntries {
+						stall := pb[0] - now
+						now += stall
+						res.StallCycles += stall
+						pb = pb[1:]
+					}
+					completion := now + persistLat
+					if len(pb) > 0 && pb[len(pb)-1]+drainInterval > completion {
+						completion = pb[len(pb)-1] + drainInterval
+					}
+					pb = append(pb, completion)
+				}
+				pbs[e.TID] = pb
+			case Ideal:
+				// No persistence bookkeeping at all.
+			}
+
+		case trace.KLoad:
+			now += lat.L1Cycles
+
+		case trace.KFlush:
+			switch model {
+			case X86NVM, X86PWQ:
+				now += 2 // clwb issue cost
+				for _, l := range mem.Lines(e.Addr, int(e.Size)) {
+					getSet(modelPending, e.TID)[l] = true
+				}
+			default:
+				// HOPS and IDEAL need no flush instructions: the
+				// instruction disappears from the stream.
+			}
+
+		case trace.KFence:
+			res.Fences++
+			switch model {
+			case X86NVM, X86PWQ:
+				stall := x86FenceCost(len(getSet(modelPending, e.TID)), persistLat, drainInterval)
+				now += stall
+				res.StallCycles += stall
+				delete(modelPending, e.TID)
+			case HOPSNVM, HOPSPWQ:
+				now++ // TS register bump
+				if dfence[i] {
+					res.DFences++
+					pb := pbs[e.TID]
+					for len(pb) > 0 && pb[0] <= now {
+						pb = pb[1:]
+					}
+					if len(pb) > 0 {
+						stall := pb[len(pb)-1] - now
+						now += stall
+						res.StallCycles += stall
+						pb = pb[:0]
+					}
+					pbs[e.TID] = pb
+				}
+			case Ideal:
+				now++
+			}
+
+		case trace.KVLoad, trace.KVStore:
+			now++
+		}
+	}
+
+	res.Cycles = now
+	return res
+}
+
+// originalCharge reproduces the cycle cost persist.Thread charged for an
+// event when the trace was recorded, so Replay can subtract it from the
+// inter-event gap and keep only genuine compute. pending is the thread's
+// distinct-flushed-lines set maintained in event order — identical to the
+// device state the original fence saw.
+func originalCharge(e trace.Event, lat mem.Latency, pending map[mem.Line]bool) mem.Cycles {
+	switch e.Kind {
+	case trace.KStore:
+		return lat.StoreCycles
+	case trace.KStoreNT:
+		return lat.StoreCycles + 1
+	case trace.KLoad:
+		return lat.L1Cycles
+	case trace.KFlush:
+		return 2
+	case trace.KFence:
+		cost := lat.PMCycles
+		if n := len(pending); n > 1 {
+			cost += mem.Cycles(n-1) * (lat.PMCycles / 8)
+		}
+		return cost
+	default:
+		return 0
+	}
+}
+
+// x86FenceCost models an sfence draining n outstanding lines: the first
+// line pays the full persist latency, the rest stream behind it across
+// the MCs.
+func x86FenceCost(n int, persistLat, drainInterval mem.Cycles) mem.Cycles {
+	if n == 0 {
+		return 2 // bare sfence
+	}
+	return persistLat + mem.Cycles(n-1)*drainInterval
+}
+
+// markDurabilityFences returns, per event index, whether a KFence should
+// be treated as a dfence: the last fence of each transaction. Fences
+// outside transactions (asynchronous log truncation, root updates) order
+// writes but need no synchronous durability — they map to ofences, with
+// the next dfence providing the durability point, exactly the split
+// Figure 8 advocates.
+func markDurabilityFences(tr *trace.Trace) map[int]bool {
+	out := make(map[int]bool)
+	lastFence := make(map[int32]int)
+	for i, e := range tr.Events {
+		switch e.Kind {
+		case trace.KTxEnd:
+			if j, ok := lastFence[e.TID]; ok {
+				out[j] = true // commit fence: durability required
+			}
+		case trace.KFence:
+			lastFence[e.TID] = i
+		}
+	}
+	return out
+}
+
+// Normalized replays tr under every model and returns runtimes normalized
+// to the x86-64 (NVM) baseline — the exact presentation of Figure 10.
+func Normalized(tr *trace.Trace, cfg Config, lat mem.Latency) map[Model]float64 {
+	base := Replay(tr, X86NVM, cfg, lat)
+	out := make(map[Model]float64, len(Models))
+	for _, m := range Models {
+		r := Replay(tr, m, cfg, lat)
+		out[m] = float64(r.Cycles) / float64(base.Cycles)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package hops
+
+import (
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+const pm = mem.PMBase
+
+// txTrace builds a synthetic transactional trace: n transactions, each
+// with several single-line epochs (store+flush+fence) and a commit fence.
+// Event times mimic the recording runtime: each event's timestamp follows
+// the charge persist.Thread would apply (fence = 80 ns at 2 GHz for one
+// pending line) plus a few nanoseconds of application compute.
+func txTrace(n, epochsPerTx int) *trace.Trace {
+	tr := &trace.Trace{App: "synthetic", Layer: "native", Threads: 1}
+	at := mem.Time(0)
+	add := func(k trace.Kind, a mem.Addr, size uint32, dt mem.Time) {
+		at += dt
+		tr.Append(trace.Event{Kind: k, TID: 0, Time: at, Addr: a, Size: size})
+	}
+	for i := 0; i < n; i++ {
+		add(trace.KTxBegin, 0, 0, 1)
+		for e := 0; e < epochsPerTx; e++ {
+			a := pm + mem.Addr((i*epochsPerTx+e)*64)
+			add(trace.KStore, a, 8, 250) // ~1 cyc charge + compute
+			add(trace.KFlush, a, 8, 5)   // 2 cyc charge + compute
+			add(trace.KFence, 0, 0, 85)  // 160 cyc (80 ns) charge + compute
+		}
+		add(trace.KTxEnd, 0, 0, 1)
+	}
+	return tr
+}
+
+func TestFigure10Shape(t *testing.T) {
+	// The qualitative Figure 10 ordering on a transactional workload:
+	// IDEAL < HOPS(PWQ) <= HOPS(NVM) < x86(PWQ) < x86(NVM).
+	tr := txTrace(200, 10)
+	lat := mem.DefaultLatency()
+	norm := Normalized(tr, DefaultConfig(), lat)
+
+	if norm[X86NVM] != 1.0 {
+		t.Fatalf("baseline not normalized: %v", norm[X86NVM])
+	}
+	if !(norm[Ideal] < norm[HOPSNVM]) {
+		t.Errorf("IDEAL (%.3f) should beat HOPS NVM (%.3f)", norm[Ideal], norm[HOPSNVM])
+	}
+	if !(norm[HOPSNVM] < norm[X86PWQ]) {
+		t.Errorf("HOPS NVM (%.3f) should beat x86 PWQ (%.3f)", norm[HOPSNVM], norm[X86PWQ])
+	}
+	if !(norm[X86PWQ] < norm[X86NVM]) {
+		t.Errorf("x86 PWQ (%.3f) should beat x86 NVM (1.0)", norm[X86PWQ])
+	}
+	if norm[HOPSPWQ] > norm[HOPSNVM] {
+		t.Errorf("HOPS PWQ (%.3f) slower than HOPS NVM (%.3f)", norm[HOPSPWQ], norm[HOPSNVM])
+	}
+	// Paper magnitudes: HOPS ~24% faster than baseline; PWQ gains HOPS
+	// only ~1.4%. Allow wide bands — this is a shape check.
+	if norm[HOPSNVM] > 0.95 {
+		t.Errorf("HOPS NVM improvement too small: %.3f", norm[HOPSNVM])
+	}
+	if norm[HOPSNVM]-norm[HOPSPWQ] > 0.15 {
+		t.Errorf("PWQ helps HOPS too much: %.3f vs %.3f", norm[HOPSNVM], norm[HOPSPWQ])
+	}
+}
+
+func TestDFenceMarking(t *testing.T) {
+	tr := txTrace(1, 3)
+	marks := markDurabilityFences(tr)
+	// Fence events are at indices 3, 6, 9 (txbegin, then triples).
+	var fenceIdx []int
+	for i, e := range tr.Events {
+		if e.Kind == trace.KFence {
+			fenceIdx = append(fenceIdx, i)
+		}
+	}
+	if len(fenceIdx) != 3 {
+		t.Fatalf("fences = %d", len(fenceIdx))
+	}
+	if marks[fenceIdx[0]] || marks[fenceIdx[1]] {
+		t.Error("non-final fences marked as dfence")
+	}
+	if !marks[fenceIdx[2]] {
+		t.Error("commit fence not marked as dfence")
+	}
+}
+
+func TestUnbracketedFenceIsOFence(t *testing.T) {
+	// Fences outside transactions (log truncation, root updates) are
+	// ordering-only: HOPS maps them to ofences.
+	tr := &trace.Trace{Threads: 1}
+	tr.Append(trace.Event{Kind: trace.KStore, Addr: pm, Size: 8})
+	tr.Append(trace.Event{Kind: trace.KFence})
+	marks := markDurabilityFences(tr)
+	if marks[1] {
+		t.Error("unbracketed fence treated as dfence")
+	}
+}
+
+func TestReplayCountsFences(t *testing.T) {
+	tr := txTrace(10, 5)
+	r := Replay(tr, HOPSNVM, DefaultConfig(), mem.DefaultLatency())
+	if r.Fences != 50 {
+		t.Fatalf("Fences = %d, want 50", r.Fences)
+	}
+	if r.DFences != 10 {
+		t.Fatalf("DFences = %d, want 10 (one per tx)", r.DFences)
+	}
+}
+
+func TestPWQReducesBaselineStalls(t *testing.T) {
+	tr := txTrace(100, 8)
+	lat := mem.DefaultLatency()
+	nvm := Replay(tr, X86NVM, DefaultConfig(), lat)
+	pwq := Replay(tr, X86PWQ, DefaultConfig(), lat)
+	if pwq.StallCycles >= nvm.StallCycles {
+		t.Fatalf("PWQ stalls (%d) not below NVM stalls (%d)", pwq.StallCycles, nvm.StallCycles)
+	}
+}
+
+func TestIdealHasMinimalStalls(t *testing.T) {
+	tr := txTrace(50, 5)
+	r := Replay(tr, Ideal, DefaultConfig(), mem.DefaultLatency())
+	if r.StallCycles != 0 {
+		t.Fatalf("IDEAL stalls = %d, want 0", r.StallCycles)
+	}
+}
+
+func TestHOPSSpeedupGrowsWithEpochCount(t *testing.T) {
+	// More ordering points per transaction => more fences HOPS turns into
+	// cheap ofences => bigger HOPS advantage. (Consequence 2.)
+	lat := mem.DefaultLatency()
+	few := Normalized(txTrace(100, 2), DefaultConfig(), lat)
+	many := Normalized(txTrace(100, 20), DefaultConfig(), lat)
+	if many[HOPSNVM] >= few[HOPSNVM] {
+		t.Errorf("HOPS advantage did not grow with epoch count: %.3f vs %.3f",
+			many[HOPSNVM], few[HOPSNVM])
+	}
+}
+
+func TestSmallPBIncursStalls(t *testing.T) {
+	// Ablation: a tiny persist buffer forces foreground stalls even under
+	// HOPS. 1-entry PB must be slower than the default 32.
+	tr := txTrace(100, 10)
+	lat := mem.DefaultLatency()
+	small := Replay(tr, HOPSNVM, Config{PBEntries: 1, DrainAt: 1, MCs: 2}, lat)
+	big := Replay(tr, HOPSNVM, DefaultConfig(), lat)
+	if small.Cycles <= big.Cycles {
+		t.Errorf("1-entry PB (%d cyc) not slower than 32-entry (%d cyc)",
+			small.Cycles, big.Cycles)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if X86NVM.String() == "" || Ideal.String() == "" {
+		t.Error("model names empty")
+	}
+	if Model(99).String() == "" {
+		t.Error("unknown model name empty")
+	}
+}

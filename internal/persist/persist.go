@@ -1,0 +1,305 @@
+// Package persist is the programming-model runtime that WHISPER
+// applications are written against. It plays the role of the paper's PM_*
+// instrumentation macros (Figure 2) fused with the machine itself: every
+// persistent operation both takes effect on the simulated device
+// (internal/pmem) and is appended to the run's trace (internal/trace) with
+// a simulated-global-clock timestamp.
+//
+// A Runtime owns one device, one clock and one trace; each logical client
+// thread of an application holds a *Thread and issues its PM operations
+// through it:
+//
+//	th.TxBegin()
+//	th.Store(addr, data)   // cacheable store
+//	th.Flush(addr, len)    // CLWB
+//	th.Fence()             // SFENCE — ends the epoch
+//	th.TxEnd()
+//
+// Volatile (DRAM) traffic is accounted through th.VLoad/VStore (aggregate
+// counters by default, full events when Config.TraceVolatile is set), which
+// feeds the paper's Figure 6 analysis.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// Config tunes a Runtime.
+type Config struct {
+	// Latency is the machine timing model; zero value means
+	// mem.DefaultLatency.
+	Latency mem.Latency
+	// TraceVolatile records every volatile access as a trace event instead
+	// of only aggregating counts. Expensive; used by cache-simulation
+	// studies.
+	TraceVolatile bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Latency == (mem.Latency{}) {
+		c.Latency = mem.DefaultLatency()
+	}
+	return c
+}
+
+// Runtime binds a device, clock and trace for one application run.
+type Runtime struct {
+	Dev   *pmem.Device
+	Clock *mem.Clock
+	Trace *trace.Trace
+
+	cfg     Config
+	threads []*Thread
+	vnext   mem.Addr // volatile address bump pointer (below mem.PMBase)
+}
+
+// NewRuntime creates a runtime for app running under the given access layer
+// with nthreads logical client threads.
+func NewRuntime(app, layer string, nthreads int, cfg Config) *Runtime {
+	if nthreads <= 0 {
+		panic("persist: nthreads must be positive")
+	}
+	cfg = cfg.withDefaults()
+	r := &Runtime{
+		Dev:   pmem.New(),
+		Clock: &mem.Clock{},
+		Trace: &trace.Trace{App: app, Layer: layer, Threads: nthreads},
+		cfg:   cfg,
+		vnext: 1 << 20, // leave the low megabyte unused, like a real process
+	}
+	r.threads = make([]*Thread, nthreads)
+	for i := range r.threads {
+		r.threads[i] = &Thread{rt: r, id: pmem.ThreadID(i)}
+	}
+	return r
+}
+
+// Thread returns the i-th logical thread context.
+func (r *Runtime) Thread(i int) *Thread { return r.threads[i] }
+
+// Threads returns the number of logical threads.
+func (r *Runtime) Threads() int { return len(r.threads) }
+
+// Latency returns the timing configuration.
+func (r *Runtime) Latency() mem.Latency { return r.cfg.Latency }
+
+// VMap reserves size bytes of volatile (DRAM) address space. The returned
+// addresses are only used for accounting and cache simulation; volatile
+// data itself lives in ordinary Go values.
+func (r *Runtime) VMap(size int) mem.Addr {
+	base := r.vnext
+	n := (mem.Addr(size) + mem.LineSize - 1) &^ (mem.LineSize - 1)
+	r.vnext += n
+	if r.vnext >= mem.PMBase {
+		panic("persist: volatile address space exhausted")
+	}
+	return base
+}
+
+// Crash injects a power failure (see pmem.Device.Crash). Outstanding
+// transactions are abandoned; applications must run their recovery paths.
+func (r *Runtime) Crash(mode pmem.CrashMode, seed int64) {
+	r.Dev.Crash(mode, seed)
+	for _, th := range r.threads {
+		th.txDepth = 0
+	}
+}
+
+// Thread is a logical hardware-thread context. All persistent operations
+// are methods on Thread so that every event carries its thread ID, which
+// the epoch analysis needs for the self-/cross-dependency study (Fig. 5).
+type Thread struct {
+	rt      *Runtime
+	id      pmem.ThreadID
+	txDepth int
+
+	// epochOpen tracks whether the thread has issued a PM store since its
+	// last fence; used by assertions in tests.
+	epochOpen bool
+}
+
+// ID returns the thread's index.
+func (t *Thread) ID() int { return int(t.id) }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+func (t *Thread) emit(k trace.Kind, a mem.Addr, size int) {
+	t.rt.Trace.Append(trace.Event{
+		Time: t.rt.Clock.Now(),
+		Addr: a,
+		Size: uint32(size),
+		TID:  int32(t.id),
+		Kind: k,
+	})
+}
+
+func (t *Thread) tick(c mem.Cycles) { t.rt.Clock.AdvanceCycles(c, t.rt.cfg.Latency) }
+
+// Store performs a cacheable store of data at a.
+func (t *Thread) Store(a mem.Addr, data []byte) {
+	t.rt.Dev.Store(t.id, a, data)
+	t.tick(t.rt.cfg.Latency.StoreCycles)
+	t.emit(trace.KStore, a, len(data))
+	t.epochOpen = true
+}
+
+// StoreNT performs a non-temporal store of data at a (PM_MOVNTI).
+func (t *Thread) StoreNT(a mem.Addr, data []byte) {
+	t.rt.Dev.StoreNT(t.id, a, data)
+	t.tick(t.rt.cfg.Latency.StoreCycles + 1)
+	t.emit(trace.KStoreNT, a, len(data))
+	t.epochOpen = true
+}
+
+// Load reads size bytes at a.
+func (t *Thread) Load(a mem.Addr, size int) []byte {
+	out := t.rt.Dev.Load(t.id, a, size)
+	t.tick(t.rt.cfg.Latency.L1Cycles)
+	t.emit(trace.KLoad, a, size)
+	return out
+}
+
+// Flush issues CLWB for the lines overlapping [a, a+size) (PM_FLUSH).
+func (t *Thread) Flush(a mem.Addr, size int) {
+	t.rt.Dev.Flush(t.id, a, size)
+	t.tick(2)
+	t.emit(trace.KFlush, a, size)
+}
+
+// Fence issues SFENCE (PM_FENCE): all outstanding flushes and NT stores of
+// this thread become durable, and the thread's current epoch ends.
+func (t *Thread) Fence() {
+	pending := t.rt.Dev.PendingFlushes(t.id)
+	t.rt.Dev.Fence(t.id)
+	// Execution-time model: the fence stalls for the drain of whatever was
+	// outstanding. The HOPS replay (internal/hops) substitutes its own
+	// models; this charge only shapes the trace's wall-clock (Table 1).
+	cost := t.rt.cfg.Latency.PMCycles
+	if pending > 1 {
+		// Flushes to distinct lines drain concurrently through the MCs;
+		// charge a modest serialization tail per extra line.
+		cost += mem.Cycles(pending-1) * (t.rt.cfg.Latency.PMCycles / 8)
+	}
+	t.tick(cost)
+	t.emit(trace.KFence, 0, 0)
+	t.epochOpen = false
+}
+
+// TxBegin marks the start of a durable transaction. Transactions may not
+// nest in WHISPER applications; nesting panics to catch layering bugs.
+func (t *Thread) TxBegin() {
+	if t.txDepth != 0 {
+		panic(fmt.Sprintf("persist: nested TxBegin on thread %d", t.id))
+	}
+	t.txDepth = 1
+	t.emit(trace.KTxBegin, 0, 0)
+}
+
+// TxEnd marks transaction commit.
+func (t *Thread) TxEnd() {
+	if t.txDepth != 1 {
+		panic(fmt.Sprintf("persist: TxEnd without TxBegin on thread %d", t.id))
+	}
+	t.txDepth = 0
+	t.emit(trace.KTxEnd, 0, 0)
+}
+
+// InTx reports whether the thread is inside a transaction.
+func (t *Thread) InTx() bool { return t.txDepth > 0 }
+
+// UserData declares that n bytes of the current transaction's PM writes are
+// application payload (not log/allocator metadata); input to the write
+// amplification analysis (§5.2).
+func (t *Thread) UserData(n int) {
+	t.emit(trace.KUserData, 0, n)
+}
+
+// Compute advances the simulated clock by c cycles of pure computation.
+func (t *Thread) Compute(c mem.Cycles) { t.tick(c) }
+
+// VLoad accounts for n volatile loads starting at address a (a may be zero
+// when the caller tracks no volatile layout).
+func (t *Thread) VLoad(a mem.Addr, n int) {
+	if t.rt.cfg.TraceVolatile {
+		for i := 0; i < n; i++ {
+			t.emit(trace.KVLoad, a+mem.Addr(i*8), 8)
+		}
+	} else {
+		t.rt.Trace.VolatileLoads += uint64(n)
+	}
+	t.tick(mem.Cycles(n))
+}
+
+// VStore accounts for n volatile stores starting at address a.
+func (t *Thread) VStore(a mem.Addr, n int) {
+	if t.rt.cfg.TraceVolatile {
+		for i := 0; i < n; i++ {
+			t.emit(trace.KVStore, a+mem.Addr(i*8), 8)
+		}
+	} else {
+		t.rt.Trace.VolatileStores += uint64(n)
+	}
+	t.tick(mem.Cycles(n))
+}
+
+// --- Typed helpers -------------------------------------------------------
+
+// StoreU64 stores v little-endian at a (cacheable).
+func (t *Thread) StoreU64(a mem.Addr, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	t.Store(a, buf[:])
+}
+
+// StoreU64NT stores v little-endian at a with a non-temporal store.
+func (t *Thread) StoreU64NT(a mem.Addr, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	t.StoreNT(a, buf[:])
+}
+
+// LoadU64 loads a little-endian uint64 from a.
+func (t *Thread) LoadU64(a mem.Addr) uint64 {
+	return binary.LittleEndian.Uint64(t.Load(a, 8))
+}
+
+// StoreU32 stores v little-endian at a.
+func (t *Thread) StoreU32(a mem.Addr, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	t.Store(a, buf[:])
+}
+
+// LoadU32 loads a little-endian uint32 from a.
+func (t *Thread) LoadU32(a mem.Addr) uint32 {
+	return binary.LittleEndian.Uint32(t.Load(a, 4))
+}
+
+// Memset stores n copies of b starting at a.
+func (t *Thread) Memset(a mem.Addr, b byte, n int) {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = b
+	}
+	t.Store(a, buf)
+}
+
+// FlushFence flushes [a, a+size) and fences — the clwb;sfence idiom of
+// native persistence (Figure 1a).
+func (t *Thread) FlushFence(a mem.Addr, size int) {
+	t.Flush(a, size)
+	t.Fence()
+}
+
+// PersistStore is the complete native-persistence store: cacheable store,
+// CLWB, SFENCE.
+func (t *Thread) PersistStore(a mem.Addr, data []byte) {
+	t.Store(a, data)
+	t.FlushFence(a, len(data))
+}

@@ -1,0 +1,209 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+func newRT(t *testing.T) *Runtime {
+	t.Helper()
+	return NewRuntime("test", "native", 2, Config{})
+}
+
+func TestStoreEmitsEventAndTakesEffect(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(64)
+	th.Store(a, []byte{1, 2, 3})
+	if got := rt.Dev.Load(0, a, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("device bytes = %v", got)
+	}
+	if rt.Trace.Len() != 1 || rt.Trace.Events[0].Kind != trace.KStore {
+		t.Fatalf("trace = %v", rt.Trace.Events)
+	}
+	if rt.Trace.Events[0].TID != 0 || rt.Trace.Events[0].Size != 3 {
+		t.Fatalf("event fields wrong: %+v", rt.Trace.Events[0])
+	}
+}
+
+func TestClockAdvancesMonotonically(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(256)
+	var last = rt.Clock.Now()
+	ops := []func(){
+		func() { th.Store(a, []byte{1}) },
+		func() { th.Flush(a, 1) },
+		func() { th.Fence() },
+		func() { th.StoreNT(a+64, []byte{2}) },
+		func() { th.Fence() },
+		func() { th.Load(a, 1) },
+		func() { th.Compute(100) },
+	}
+	for i, op := range ops {
+		op()
+		now := rt.Clock.Now()
+		if now < last {
+			t.Fatalf("op %d moved clock backwards: %d -> %d", i, last, now)
+		}
+		last = now
+	}
+	// Events must be stamped in nondecreasing time order.
+	evs := rt.Trace.Events
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("event %d out of time order", i)
+		}
+	}
+}
+
+func TestFenceDrainsThroughRuntime(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(64)
+	th.Store(a, []byte{7})
+	th.Flush(a, 1)
+	th.Fence()
+	if got := rt.Dev.Durable(a, 1)[0]; got != 7 {
+		t.Fatalf("durable byte = %d, want 7", got)
+	}
+}
+
+func TestTxNestingPanics(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	th.TxBegin()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested TxBegin did not panic")
+			}
+		}()
+		th.TxBegin()
+	}()
+	th.TxEnd()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unmatched TxEnd did not panic")
+			}
+		}()
+		th.TxEnd()
+	}()
+}
+
+func TestCrashResetsTxDepth(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	th.TxBegin()
+	rt.Crash(pmem.Strict, 1)
+	if th.InTx() {
+		t.Error("thread still in tx after crash")
+	}
+	th.TxBegin() // must not panic
+	th.TxEnd()
+}
+
+func TestVolatileAggregation(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(1)
+	th.VLoad(0, 10)
+	th.VStore(0, 4)
+	if rt.Trace.VolatileLoads != 10 || rt.Trace.VolatileStores != 4 {
+		t.Fatalf("aggregates = %d/%d", rt.Trace.VolatileLoads, rt.Trace.VolatileStores)
+	}
+	if rt.Trace.Len() != 0 {
+		t.Fatal("aggregated volatile accesses should not emit events")
+	}
+}
+
+func TestVolatileTracing(t *testing.T) {
+	rt := NewRuntime("test", "native", 1, Config{TraceVolatile: true})
+	th := rt.Thread(0)
+	va := rt.VMap(64)
+	th.VStore(va, 3)
+	if rt.Trace.Len() != 3 {
+		t.Fatalf("traced volatile events = %d, want 3", rt.Trace.Len())
+	}
+	if rt.Trace.Events[0].Kind != trace.KVStore {
+		t.Fatal("wrong event kind")
+	}
+}
+
+func TestVMapDisjointFromPM(t *testing.T) {
+	rt := newRT(t)
+	v1 := rt.VMap(100)
+	v2 := rt.VMap(100)
+	if v1 == v2 {
+		t.Error("VMap returned overlapping regions")
+	}
+	if v1%64 != 0 || v2%64 != 0 {
+		t.Error("VMap returned unaligned region")
+	}
+}
+
+func TestTypedHelpers(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(64)
+	th.StoreU64(a, 0xdeadbeefcafe)
+	if got := th.LoadU64(a); got != 0xdeadbeefcafe {
+		t.Fatalf("LoadU64 = %#x", got)
+	}
+	th.StoreU32(a+8, 77)
+	if got := th.LoadU32(a + 8); got != 77 {
+		t.Fatalf("LoadU32 = %d", got)
+	}
+	th.StoreU64NT(a+16, 99)
+	th.Fence()
+	if got := rt.Dev.Durable(a+16, 1)[0]; got != 99 {
+		t.Fatalf("NT durable = %d", got)
+	}
+	th.Memset(a+24, 0xab, 8)
+	if got := th.Load(a+24, 8); !bytes.Equal(got, bytes.Repeat([]byte{0xab}, 8)) {
+		t.Fatalf("Memset bytes = %v", got)
+	}
+}
+
+func TestPersistStoreIsDurable(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(64)
+	th.PersistStore(a, []byte{42})
+	if !rt.Dev.IsDurable(a, 1) {
+		t.Fatal("PersistStore left data volatile")
+	}
+	// Event sequence must be store, flush, fence.
+	kinds := []trace.Kind{trace.KStore, trace.KFlush, trace.KFence}
+	for i, k := range kinds {
+		if rt.Trace.Events[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, rt.Trace.Events[i].Kind, k)
+		}
+	}
+}
+
+func TestUserDataEvent(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	th.UserData(123)
+	e := rt.Trace.Events[0]
+	if e.Kind != trace.KUserData || e.Size != 123 {
+		t.Fatalf("user data event = %+v", e)
+	}
+}
+
+func TestThreadIdentity(t *testing.T) {
+	rt := newRT(t)
+	if rt.Thread(0).ID() != 0 || rt.Thread(1).ID() != 1 {
+		t.Error("thread IDs wrong")
+	}
+	if rt.Threads() != 2 {
+		t.Error("Threads() wrong")
+	}
+	if rt.Thread(0).Runtime() != rt {
+		t.Error("Runtime() wrong")
+	}
+}

@@ -1,0 +1,342 @@
+// Package pmem simulates the persistent-memory device and its persistence
+// domain. It is the substrate that stands in for the paper's NVDIMM-backed
+// testbed (see DESIGN.md, "Substitutions").
+//
+// The device keeps two images of persistent memory:
+//
+//   - the live image: what loads observe, i.e. the union of caches,
+//     write-combining buffers and the PM device;
+//   - the durable image: exactly the bytes that would survive a power
+//     failure right now.
+//
+// Software moves bytes from live to durable exactly the way x86-64 software
+// does: cacheable stores followed by CLWB of each line and an SFENCE, or
+// non-temporal stores (NTI) drained by an SFENCE. Until then the bytes sit
+// in simulated caches/WCBs and are at the mercy of a crash.
+//
+// Crash injection supports two adversaries:
+//
+//   - Strict: everything not explicitly persisted is lost. This is the
+//     most pessimistic legal outcome.
+//   - Adversarial: each dirty, unpersisted line is independently kept or
+//     lost under a seeded RNG, modelling cache evictions that race ahead of
+//     program order. Crash-consistent software must tolerate both.
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+)
+
+// ThreadID identifies a logical hardware thread. The paper's testbed has
+// four cores with two hardware threads each; the workloads drive four or
+// eight clients.
+type ThreadID int
+
+type line [mem.LineSize]byte
+
+// Stats counts device-level activity. All counts are since construction or
+// the last ResetStats.
+type Stats struct {
+	Stores       uint64 // cacheable PM stores
+	NTStores     uint64 // non-temporal PM stores
+	Loads        uint64 // PM loads
+	Flushes      uint64 // CLWB operations issued
+	Fences       uint64 // SFENCE operations issued
+	LinesPersist uint64 // lines made durable by fences
+	BytesStored  uint64 // bytes written to PM (cacheable + NTI)
+	Crashes      uint64 // injected crashes
+}
+
+// CrashMode selects the crash adversary.
+type CrashMode int
+
+const (
+	// Strict loses every byte not explicitly made durable.
+	Strict CrashMode = iota
+	// Adversarial independently persists or loses each unpersisted dirty
+	// line, modelling early cache evictions.
+	Adversarial
+)
+
+// Device is the simulated PM device plus the volatile machinery (caches,
+// WCBs) in front of it. It is not safe for concurrent use; the
+// deterministic scheduler (internal/sched) serializes all access.
+type Device struct {
+	live    map[mem.Line]*line
+	durable map[mem.Line]*line
+
+	// dirty tracks lines whose live image differs from the durable image
+	// and that were written with cacheable stores (i.e. sit in a cache).
+	dirty map[mem.Line]bool
+
+	// flushed holds, per thread, snapshots taken by CLWB that become
+	// durable at that thread's next SFENCE.
+	flushed map[ThreadID]map[mem.Line]line
+
+	// wcb holds, per thread, non-temporal stores awaiting an SFENCE.
+	// NTI data is snapshotted at store time (it bypasses the cache).
+	wcb map[ThreadID]map[mem.Line]line
+
+	next  mem.Addr // bump pointer for Map
+	stats Stats
+}
+
+// New creates an empty device whose persistent range starts at mem.PMBase.
+func New() *Device {
+	return &Device{
+		live:    make(map[mem.Line]*line),
+		durable: make(map[mem.Line]*line),
+		dirty:   make(map[mem.Line]bool),
+		flushed: make(map[ThreadID]map[mem.Line]line),
+		wcb:     make(map[ThreadID]map[mem.Line]line),
+		next:    mem.PMBase,
+	}
+}
+
+// Map reserves size bytes of persistent address space and returns the base
+// address. The region is zero until written. Map never fails; the simulated
+// device is as large as the address space.
+func (d *Device) Map(size int) mem.Addr {
+	if size < 0 {
+		panic("pmem: negative Map size")
+	}
+	base := d.next
+	// Keep regions line-aligned so independent structures never share a
+	// line by accident (false sharing would manufacture dependencies the
+	// software didn't create).
+	n := mem.Addr(size)
+	n = (n + mem.LineSize - 1) &^ (mem.LineSize - 1)
+	d.next += n
+	return base
+}
+
+func (d *Device) liveLine(l mem.Line) *line {
+	ln := d.live[l]
+	if ln == nil {
+		ln = &line{}
+		if dur := d.durable[l]; dur != nil {
+			*ln = *dur
+		}
+		d.live[l] = ln
+	}
+	return ln
+}
+
+func checkRange(a mem.Addr, size int) {
+	if !mem.IsPM(a) {
+		panic(fmt.Sprintf("pmem: address %v is not persistent", a))
+	}
+	if size < 0 {
+		panic("pmem: negative size")
+	}
+}
+
+// Store performs cacheable stores of data starting at a. The bytes become
+// visible to loads immediately but durable only after CLWB+SFENCE (or a
+// lucky adversarial eviction).
+func (d *Device) Store(tid ThreadID, a mem.Addr, data []byte) {
+	checkRange(a, len(data))
+	d.writeLive(a, data)
+	for _, l := range mem.Lines(a, len(data)) {
+		d.dirty[l] = true
+	}
+	d.stats.Stores++
+	d.stats.BytesStored += uint64(len(data))
+}
+
+// StoreNT performs non-temporal stores: the bytes bypass the cache, land in
+// the thread's write-combining buffer, and become durable at the thread's
+// next SFENCE.
+func (d *Device) StoreNT(tid ThreadID, a mem.Addr, data []byte) {
+	checkRange(a, len(data))
+	d.writeLive(a, data)
+	w := d.wcb[tid]
+	if w == nil {
+		w = make(map[mem.Line]line)
+		d.wcb[tid] = w
+	}
+	for _, l := range mem.Lines(a, len(data)) {
+		w[l] = *d.liveLine(l)
+		// NTI does not leave the line dirty in the cache; if it was
+		// dirty before, the WCB snapshot now carries the latest bytes.
+		delete(d.dirty, l)
+	}
+	d.stats.NTStores++
+	d.stats.BytesStored += uint64(len(data))
+}
+
+func (d *Device) writeLive(a mem.Addr, data []byte) {
+	off := 0
+	for off < len(data) {
+		l := mem.LineOf(a + mem.Addr(off))
+		ln := d.liveLine(l)
+		start := int((a + mem.Addr(off)) - mem.LineAddr(l))
+		n := copy(ln[start:], data[off:])
+		off += n
+	}
+}
+
+// Load reads size bytes at a from the live image.
+func (d *Device) Load(tid ThreadID, a mem.Addr, size int) []byte {
+	checkRange(a, size)
+	out := make([]byte, size)
+	off := 0
+	for off < size {
+		l := mem.LineOf(a + mem.Addr(off))
+		ln := d.live[l]
+		start := int((a + mem.Addr(off)) - mem.LineAddr(l))
+		if ln == nil {
+			// Unwritten memory reads as zero; skip the copy.
+			off += mem.LineSize - start
+			continue
+		}
+		n := copy(out[off:], ln[start:])
+		off += n
+	}
+	d.stats.Loads++
+	return out
+}
+
+// Flush issues CLWB for every line overlapping [a, a+size). The current
+// live contents of each line are snapshotted and will become durable at the
+// thread's next SFENCE.
+func (d *Device) Flush(tid ThreadID, a mem.Addr, size int) {
+	checkRange(a, size)
+	f := d.flushed[tid]
+	if f == nil {
+		f = make(map[mem.Line]line)
+		d.flushed[tid] = f
+	}
+	for _, l := range mem.Lines(a, size) {
+		f[l] = *d.liveLine(l)
+		d.stats.Flushes++
+	}
+}
+
+// Fence issues SFENCE for tid: all of the thread's outstanding flushes and
+// write-combining entries become durable.
+func (d *Device) Fence(tid ThreadID) {
+	for l, snap := range d.flushed[tid] {
+		d.persistLine(l, snap)
+	}
+	delete(d.flushed, tid)
+	for l, snap := range d.wcb[tid] {
+		d.persistLine(l, snap)
+	}
+	delete(d.wcb, tid)
+	d.stats.Fences++
+}
+
+func (d *Device) persistLine(l mem.Line, snap line) {
+	dur := d.durable[l]
+	if dur == nil {
+		dur = &line{}
+		d.durable[l] = dur
+	}
+	*dur = snap
+	d.stats.LinesPersist++
+	// If the live image still matches what we just persisted, the line is
+	// clean again. A later cacheable store may have re-dirtied it; compare
+	// to be exact.
+	if live := d.live[l]; live != nil && *live == snap {
+		delete(d.dirty, l)
+	}
+}
+
+// Crash simulates a power failure. The live image is discarded and replaced
+// by what the durable image plus the chosen adversary allows. Outstanding
+// flushes and WCB entries for all threads are lost (under Adversarial mode
+// they may independently survive, like any other in-flight line). After
+// Crash, software must run its recovery path before trusting the contents.
+func (d *Device) Crash(mode CrashMode, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	if mode == Adversarial {
+		// Collect candidate in-flight lines in deterministic order.
+		cands := make(map[mem.Line]line)
+		for l := range d.dirty {
+			cands[l] = *d.liveLine(l)
+		}
+		for _, f := range d.flushed {
+			for l, snap := range f {
+				cands[l] = snap
+			}
+		}
+		for _, w := range d.wcb {
+			for l, snap := range w {
+				cands[l] = snap
+			}
+		}
+		lines := make([]mem.Line, 0, len(cands))
+		for l := range cands {
+			lines = append(lines, l)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		for _, l := range lines {
+			if rng.Intn(2) == 0 {
+				d.persistLine(l, cands[l])
+			}
+		}
+	}
+	// Reset volatile state: live becomes a copy of durable.
+	d.live = make(map[mem.Line]*line, len(d.durable))
+	for l, dur := range d.durable {
+		cp := *dur
+		d.live[l] = &cp
+	}
+	d.dirty = make(map[mem.Line]bool)
+	d.flushed = make(map[ThreadID]map[mem.Line]line)
+	d.wcb = make(map[ThreadID]map[mem.Line]line)
+	d.stats.Crashes++
+}
+
+// Durable reads size bytes at a from the durable image (what a crash right
+// now would preserve). Test helper.
+func (d *Device) Durable(a mem.Addr, size int) []byte {
+	checkRange(a, size)
+	out := make([]byte, size)
+	off := 0
+	for off < size {
+		l := mem.LineOf(a + mem.Addr(off))
+		ln := d.durable[l]
+		start := int((a + mem.Addr(off)) - mem.LineAddr(l))
+		if ln == nil {
+			off += mem.LineSize - start
+			continue
+		}
+		n := copy(out[off:], ln[start:])
+		off += n
+	}
+	return out
+}
+
+// IsDurable reports whether the live bytes at [a, a+size) all match the
+// durable image.
+func (d *Device) IsDurable(a mem.Addr, size int) bool {
+	live := d.Load(0, a, size)
+	d.stats.Loads-- // introspection, not an application load
+	dur := d.Durable(a, size)
+	for i := range live {
+		if live[i] != dur[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DirtyLines returns the number of lines whose live image differs from the
+// durable image and that have not been flushed.
+func (d *Device) DirtyLines() int { return len(d.dirty) }
+
+// PendingFlushes returns the number of lines flushed by tid but not yet
+// fenced.
+func (d *Device) PendingFlushes(tid ThreadID) int { return len(d.flushed[tid]) }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the device counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }

@@ -1,0 +1,242 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+)
+
+func TestMapAlignment(t *testing.T) {
+	d := New()
+	a := d.Map(10)
+	b := d.Map(1)
+	c := d.Map(100)
+	for _, addr := range []mem.Addr{a, b, c} {
+		if addr%mem.LineSize != 0 {
+			t.Errorf("Map returned unaligned address %v", addr)
+		}
+		if !mem.IsPM(addr) {
+			t.Errorf("Map returned non-PM address %v", addr)
+		}
+	}
+	if b < a+mem.LineSize {
+		t.Error("regions overlap")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	d := New()
+	a := d.Map(256)
+	data := []byte("hello, persistent world — spanning lines ........................")
+	d.Store(0, a+10, data)
+	got := d.Load(0, a+10, len(data))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Load = %q, want %q", got, data)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	d := New()
+	a := d.Map(128)
+	got := d.Load(0, a, 128)
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestDurabilityRequiresFlushAndFence(t *testing.T) {
+	d := New()
+	a := d.Map(64)
+	d.Store(0, a, []byte{1, 2, 3})
+
+	if got := d.Durable(a, 3); !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatalf("store became durable without flush: %v", got)
+	}
+	d.Flush(0, a, 3)
+	if got := d.Durable(a, 3); !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatalf("flush became durable without fence: %v", got)
+	}
+	d.Fence(0)
+	if got := d.Durable(a, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("flush+fence not durable: %v", got)
+	}
+}
+
+func TestFlushSnapshotsAtFlushTime(t *testing.T) {
+	// A store after the CLWB but before the SFENCE must not ride along:
+	// CLWB writes back the line contents as of the flush.
+	d := New()
+	a := d.Map(64)
+	d.Store(0, a, []byte{1})
+	d.Flush(0, a, 1)
+	d.Store(0, a, []byte{2}) // dirties the line again after the flush
+	d.Fence(0)
+	if got := d.Durable(a, 1)[0]; got != 1 {
+		t.Fatalf("durable byte = %d, want 1 (flush-time snapshot)", got)
+	}
+	if got := d.Load(0, a, 1)[0]; got != 2 {
+		t.Fatalf("live byte = %d, want 2", got)
+	}
+	if d.DirtyLines() != 1 {
+		t.Fatalf("line should remain dirty, DirtyLines = %d", d.DirtyLines())
+	}
+}
+
+func TestNTStoreDurableAtFence(t *testing.T) {
+	d := New()
+	a := d.Map(64)
+	d.StoreNT(0, a, []byte{9, 9})
+	if got := d.Durable(a, 2); !bytes.Equal(got, []byte{0, 0}) {
+		t.Fatalf("NT store durable before fence: %v", got)
+	}
+	d.Fence(0)
+	if got := d.Durable(a, 2); !bytes.Equal(got, []byte{9, 9}) {
+		t.Fatalf("NT store not durable after fence: %v", got)
+	}
+}
+
+func TestFenceIsPerThread(t *testing.T) {
+	d := New()
+	a := d.Map(128)
+	d.Store(0, a, []byte{1})
+	d.Flush(0, a, 1)
+	d.Store(1, a+64, []byte{2})
+	d.Flush(1, a+64, 1)
+
+	d.Fence(0) // must not drain thread 1's flush
+	if got := d.Durable(a, 1)[0]; got != 1 {
+		t.Fatal("thread 0 flush not drained by its own fence")
+	}
+	if got := d.Durable(a+64, 1)[0]; got != 0 {
+		t.Fatal("thread 1 flush drained by thread 0's fence")
+	}
+	d.Fence(1)
+	if got := d.Durable(a+64, 1)[0]; got != 2 {
+		t.Fatal("thread 1 flush not drained by its own fence")
+	}
+}
+
+func TestStrictCrashLosesUnpersisted(t *testing.T) {
+	d := New()
+	a := d.Map(192)
+	d.Store(0, a, []byte{1})    // dirty, unflushed
+	d.Store(0, a+64, []byte{2}) // will be flushed but not fenced
+	d.Flush(0, a+64, 1)
+	d.Store(0, a+128, []byte{3}) // fully persisted
+	d.Flush(0, a+128, 1)
+	// The fence drains both outstanding flushes (a+64 and a+128): that is
+	// exactly x86 semantics, so persist a+128 via a dedicated sequence.
+	d.Fence(0)
+
+	d.Store(0, a, []byte{4}) // dirty again
+	d.Crash(Strict, 1)
+
+	if got := d.Load(0, a, 1)[0]; got != 0 {
+		t.Errorf("unflushed store survived strict crash: %d", got)
+	}
+	if got := d.Load(0, a+64, 1)[0]; got != 2 {
+		t.Errorf("fenced line lost: %d", got)
+	}
+	if got := d.Load(0, a+128, 1)[0]; got != 3 {
+		t.Errorf("fenced line lost: %d", got)
+	}
+	if d.DirtyLines() != 0 || d.PendingFlushes(0) != 0 {
+		t.Error("crash left volatile state behind")
+	}
+}
+
+func TestAdversarialCrashIsSubsetOfStores(t *testing.T) {
+	// Property: after an adversarial crash every byte equals either its
+	// pre-crash durable value or its pre-crash live value — the adversary
+	// may persist early but never invents data.
+	f := func(seed int64, vals [8]byte) bool {
+		d := New()
+		a := d.Map(8 * 64)
+		for i, v := range vals {
+			d.Store(0, a+mem.Addr(i*64), []byte{v})
+		}
+		d.Crash(Adversarial, seed)
+		for i, v := range vals {
+			got := d.Load(0, a+mem.Addr(i*64), 1)[0]
+			if got != 0 && got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialCrashDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []byte {
+		d := New()
+		a := d.Map(32 * 64)
+		for i := 0; i < 32; i++ {
+			d.Store(0, a+mem.Addr(i*64), []byte{byte(i + 1)})
+		}
+		d.Crash(Adversarial, seed)
+		return d.Load(0, a, 32*64)
+	}
+	if !bytes.Equal(run(42), run(42)) {
+		t.Error("same seed produced different crash outcomes")
+	}
+	if bytes.Equal(run(1), run(2)) {
+		// Not strictly guaranteed, but with 32 coin flips a collision means
+		// the seed is being ignored.
+		t.Error("different seeds produced identical crash outcomes")
+	}
+}
+
+func TestIsDurable(t *testing.T) {
+	d := New()
+	a := d.Map(64)
+	d.Store(0, a, []byte{5})
+	if d.IsDurable(a, 1) {
+		t.Error("dirty line reported durable")
+	}
+	d.Flush(0, a, 1)
+	d.Fence(0)
+	if !d.IsDurable(a, 1) {
+		t.Error("persisted line reported not durable")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New()
+	a := d.Map(64)
+	d.Store(0, a, []byte{1, 2})
+	d.StoreNT(0, a+8, []byte{3})
+	d.Load(0, a, 2)
+	d.Flush(0, a, 2)
+	d.Fence(0)
+	s := d.Stats()
+	if s.Stores != 1 || s.NTStores != 1 || s.Loads != 1 || s.Flushes != 1 || s.Fences != 1 {
+		t.Errorf("unexpected stats: %+v", s)
+	}
+	if s.BytesStored != 3 {
+		t.Errorf("BytesStored = %d, want 3", s.BytesStored)
+	}
+	if s.LinesPersist != 2 { // one flushed line + one WCB line
+		t.Errorf("LinesPersist = %d, want 2", s.LinesPersist)
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestNonPMAddressPanics(t *testing.T) {
+	d := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("store to DRAM address did not panic")
+		}
+	}()
+	d.Store(0, 0x1000, []byte{1})
+}

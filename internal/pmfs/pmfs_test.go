@@ -1,0 +1,367 @@
+package pmfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+func newFS(t *testing.T) (*persist.Runtime, *persist.Thread, *FS) {
+	t.Helper()
+	rt := persist.NewRuntime("pmfs-test", "pmfs", 1, persist.Config{})
+	th := rt.Thread(0)
+	return rt, th, Format(rt, th, Options{Inodes: 256, Blocks: 512})
+}
+
+func TestCreateStatUnlink(t *testing.T) {
+	_, th, fs := newFS(t)
+	if err := fs.Create(th, "/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat(th, "/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsDir || info.Size != 0 || info.Nlink != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if err := fs.Create(th, "/a.txt"); !errors.Is(err, ErrExists) {
+		t.Fatalf("second create = %v, want ErrExists", err)
+	}
+	if err := fs.Unlink(th, "/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(th, "/a.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat after unlink = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Create(th, "/f")
+	msg := []byte("hello persistent filesystem")
+	if err := fs.WriteAt(th, "/f", 0, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAt(th, "/f", 0, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read = %q", got)
+	}
+	info, _ := fs.Stat(th, "/f")
+	if info.Size != int64(len(msg)) {
+		t.Fatalf("size = %d", info.Size)
+	}
+}
+
+func TestWriteAcrossBlocks(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Create(th, "/big")
+	data := make([]byte, 3*BlockSize+123)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := fs.WriteAt(th, "/big", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAt(th, "/big", 0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+	// Partial read in the middle, crossing a block boundary.
+	got, err = fs.ReadAt(th, "/big", BlockSize-10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[BlockSize-10:BlockSize+10]) {
+		t.Fatal("boundary read mismatch")
+	}
+}
+
+func TestIndirectBlocks(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Create(th, "/huge")
+	// Write past the direct pointers.
+	off := int64(numDirect * BlockSize)
+	data := []byte("beyond the directs")
+	if err := fs.WriteAt(th, "/huge", off, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAt(th, "/huge", off, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("indirect read = %q", got)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Create(th, "/log")
+	for i := 0; i < 5; i++ {
+		if err := fs.Append(th, "/log", []byte(fmt.Sprintf("line%d\n", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := fs.ReadAt(th, "/log", 0, 1000)
+	want := "line0\nline1\nline2\nline3\nline4\n"
+	if string(got) != want {
+		t.Fatalf("log = %q", got)
+	}
+}
+
+func TestMkdirNesting(t *testing.T) {
+	_, th, fs := newFS(t)
+	if err := fs.Mkdir(th, "/d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(th, "/d1/d2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create(th, "/d1/d2/f"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat(th, "/d1/d2/f")
+	if err != nil || info.IsDir {
+		t.Fatalf("stat nested = %+v, %v", info, err)
+	}
+	if err := fs.Create(th, "/nope/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("create in missing dir = %v", err)
+	}
+	if err := fs.Unlink(th, "/d1"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("unlink non-empty dir = %v", err)
+	}
+}
+
+func TestReaddir(t *testing.T) {
+	_, th, fs := newFS(t)
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		fs.Create(th, "/"+n)
+	}
+	fs.Unlink(th, "/b")
+	got, err := fs.Readdir(th, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := []string{"a", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("readdir = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("readdir = %v", got)
+		}
+	}
+}
+
+func TestDirentSlotReuse(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Create(th, "/x")
+	info1, _ := fs.Stat(th, "/")
+	fs.Unlink(th, "/x")
+	fs.Create(th, "/y") // must reuse the deleted slot
+	info2, _ := fs.Stat(th, "/")
+	if info2.Size != info1.Size {
+		t.Fatalf("directory grew (%d -> %d) despite free slot", info1.Size, info2.Size)
+	}
+}
+
+func TestRename(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Mkdir(th, "/dir")
+	fs.Create(th, "/old")
+	fs.WriteAt(th, "/old", 0, []byte("content"))
+	if err := fs.Rename(th, "/old", "/dir/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(th, "/old"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old name still present")
+	}
+	got, err := fs.ReadAt(th, "/dir/new", 0, 7)
+	if err != nil || !bytes.Equal(got, []byte("content")) {
+		t.Fatalf("renamed content = %q, %v", got, err)
+	}
+}
+
+func TestUnlinkFreesBlocks(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Create(th, "/f") // the root directory grabs its dirent block here
+	free0 := len(fs.freeBlocks)
+	fs.WriteAt(th, "/f", 0, make([]byte, 5*BlockSize))
+	if len(fs.freeBlocks) >= free0 {
+		t.Fatal("write did not consume blocks")
+	}
+	fs.Unlink(th, "/f")
+	if len(fs.freeBlocks) != free0 {
+		t.Fatalf("blocks leaked: %d -> %d", free0, len(fs.freeBlocks))
+	}
+}
+
+func TestUserDataUsesNTI(t *testing.T) {
+	// §5.2: about 96% of PMFS writes use NTIs.
+	rt, th, fs := newFS(t)
+	fs.Create(th, "/f")
+	rt.Trace.Events = rt.Trace.Events[:0]
+	fs.WriteAt(th, "/f", 0, make([]byte, BlockSize))
+	var ntBytes, storeBytes uint64
+	for _, e := range rt.Trace.Events {
+		switch e.Kind {
+		case trace.KStoreNT:
+			ntBytes += uint64(e.Size)
+		case trace.KStore:
+			storeBytes += uint64(e.Size)
+		}
+	}
+	frac := float64(ntBytes) / float64(ntBytes+storeBytes)
+	if frac < 0.85 {
+		t.Errorf("NTI byte fraction = %.2f, want > 0.85 for block writes", frac)
+	}
+}
+
+func TestBlockWriteIs64LineEpoch(t *testing.T) {
+	// Figure 4: PMFS epochs of 64 cache lines come from 4 KB block writes.
+	rt, th, fs := newFS(t)
+	fs.Create(th, "/f")
+	rt.Trace.Events = rt.Trace.Events[:0]
+	fs.WriteAt(th, "/f", 0, make([]byte, BlockSize))
+	// Find the NT store of the user data and check it spans 64 lines.
+	found := false
+	for _, e := range rt.Trace.Events {
+		if e.Kind == trace.KStoreNT && e.Size == BlockSize {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 4 KB NT store found for a block write")
+	}
+}
+
+func TestWriteAmplificationNearPaper(t *testing.T) {
+	// §5.2: ~400 extra metadata/journal bytes per 4096-byte append (~10%).
+	rt, th, fs := newFS(t)
+	fs.Create(th, "/f")
+	rt.Trace.Events = rt.Trace.Events[:0]
+	dev0 := rt.Dev.Stats().BytesStored
+	fs.Append(th, "/f", make([]byte, BlockSize))
+	total := rt.Dev.Stats().BytesStored - dev0
+	extra := float64(total-BlockSize) / float64(BlockSize)
+	if extra < 0.02 || extra > 0.40 {
+		t.Errorf("write amplification = %.2f, paper reports ~0.10", extra)
+	}
+}
+
+func TestCrashDuringMetadataOpRecovers(t *testing.T) {
+	// Crash with an uncommitted journal: recovery must roll back so the
+	// filesystem remains consistent (file either exists fully or not).
+	rt, th, fs := newFS(t)
+	fs.Create(th, "/keep")
+	fs.WriteAt(th, "/keep", 0, []byte("safe"))
+
+	// Begin a metadata transaction by hand and crash before commit.
+	mt := fs.jrnl.begin(th)
+	ia := fs.inodeAddr(rootIno)
+	oldSize := th.LoadU64(ia + offSize)
+	mt.writeU64(ia+offSize, oldSize+direntSize) // half-made entry
+	th.Flush(ia+offSize, 8)
+	th.Fence() // adversary: the new size IS durable
+	rt.Crash(pmem.Strict, 1)
+
+	fs.Recover(th)
+	if got := th.LoadU64(ia + offSize); got != oldSize {
+		t.Fatalf("root size = %d after recovery, want %d (rolled back)", got, oldSize)
+	}
+	got, err := fs.ReadAt(th, "/keep", 0, 4)
+	if err != nil || !bytes.Equal(got, []byte("safe")) {
+		t.Fatalf("committed file damaged: %q, %v", got, err)
+	}
+}
+
+func TestCrashQuickConsistency(t *testing.T) {
+	// Property: create files, crash adversarially at a random moment
+	// (simulated by crashing after a random number of completed ops), and
+	// verify every committed file's metadata is intact after recovery.
+	f := func(seed int64, nOps uint8) bool {
+		rt := persist.NewRuntime("pmfs-test", "pmfs", 1, persist.Config{})
+		th := rt.Thread(0)
+		fs := Format(rt, th, Options{Inodes: 128, Blocks: 256})
+		n := int(nOps%16) + 1
+		for i := 0; i < n; i++ {
+			if err := fs.Create(th, fmt.Sprintf("/f%d", i)); err != nil {
+				return false
+			}
+			if err := fs.WriteAt(th, fmt.Sprintf("/f%d", i), 0, []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		rt.Crash(pmem.Adversarial, seed)
+		fs.Recover(th)
+		for i := 0; i < n; i++ {
+			got, err := fs.ReadAt(th, fmt.Sprintf("/f%d", i), 0, 1)
+			if err != nil || len(got) != 1 || got[0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyscallsAreTransactions(t *testing.T) {
+	rt, th, fs := newFS(t)
+	rt.Trace.Events = rt.Trace.Events[:0]
+	fs.Create(th, "/t")
+	fs.WriteAt(th, "/t", 0, []byte("x"))
+	fs.Stat(th, "/t")
+	begins := rt.Trace.CountKind(trace.KTxBegin)
+	ends := rt.Trace.CountKind(trace.KTxEnd)
+	if begins != 3 || ends != 3 {
+		t.Fatalf("tx brackets = %d/%d, want 3/3", begins, ends)
+	}
+}
+
+func TestLongNameRejected(t *testing.T) {
+	_, th, fs := newFS(t)
+	long := "/" + string(bytes.Repeat([]byte("n"), maxName+1))
+	if err := fs.Create(th, long); !errors.Is(err, ErrNameLong) {
+		t.Fatalf("err = %v, want ErrNameLong", err)
+	}
+}
+
+func TestStatRootViaReaddir(t *testing.T) {
+	_, th, fs := newFS(t)
+	if _, err := fs.Readdir(th, "/"); err != nil {
+		t.Fatalf("readdir root: %v", err)
+	}
+}
+
+func TestIsDirErrors(t *testing.T) {
+	_, th, fs := newFS(t)
+	fs.Mkdir(th, "/d")
+	if err := fs.WriteAt(th, "/d", 0, []byte("x")); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("write to dir = %v", err)
+	}
+	if _, err := fs.ReadAt(th, "/d", 0, 1); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("read of dir = %v", err)
+	}
+	fs.Create(th, "/f")
+	if _, err := fs.Stat(th, "/f/sub"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("traverse through file = %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic "WSPR" | version u8
+//	app string | layer string | threads uvarint
+//	vloads uvarint | vstores uvarint
+//	count uvarint
+//	count * event
+//
+// Events are delta-encoded: Time and Addr are stored as signed deltas from
+// the previous event, which keeps realistic traces small (most consecutive
+// events are close in both time and space). Strings are uvarint length +
+// bytes.
+
+const (
+	magic   = "WSPR"
+	version = 1
+)
+
+// Encode writes t to w in the binary trace format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	writeString(bw, t.App)
+	writeString(bw, t.Layer)
+	writeUvarint(bw, uint64(t.Threads))
+	writeUvarint(bw, t.VolatileLoads)
+	writeUvarint(bw, t.VolatileStores)
+	writeUvarint(bw, uint64(len(t.Events)))
+	var prevTime, prevAddr uint64
+	for _, e := range t.Events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		writeUvarint(bw, uint64(e.TID))
+		writeVarint(bw, int64(uint64(e.Time)-prevTime))
+		writeVarint(bw, int64(uint64(e.Addr)-prevAddr))
+		writeUvarint(bw, uint64(e.Size))
+		prevTime = uint64(e.Time)
+		prevAddr = uint64(e.Addr)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace in the binary format from r.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	t := &Trace{}
+	if t.App, err = readString(br); err != nil {
+		return nil, err
+	}
+	if t.Layer, err = readString(br); err != nil {
+		return nil, err
+	}
+	threads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t.Threads = int(threads)
+	if t.VolatileLoads, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	if t.VolatileStores, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t.Events = make([]Event, 0, count)
+	var prevTime, prevAddr uint64
+	for i := uint64(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		dt, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		da, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prevTime += uint64(dt)
+		prevAddr += uint64(da)
+		t.Events = append(t.Events, Event{
+			Kind: Kind(kind),
+			TID:  int32(tid),
+			Time: memTime(prevTime),
+			Addr: memAddr(prevAddr),
+			Size: uint32(size),
+		})
+	}
+	return t, nil
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", errors.New("trace: unreasonable string length")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}

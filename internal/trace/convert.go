@@ -1,0 +1,8 @@
+package trace
+
+import "github.com/whisper-pm/whisper/internal/mem"
+
+// memTime and memAddr exist so the codec can convert raw integers without
+// importing mem at every call site.
+func memTime(v uint64) mem.Time { return mem.Time(v) }
+func memAddr(v uint64) mem.Addr { return mem.Addr(v) }

@@ -1,0 +1,162 @@
+// Package trace records persistent-memory activity. It is the Go
+// counterpart of the paper's PM_* macro instrumentation (Figure 2): every
+// store, flush, fence and transaction boundary an application performs is
+// appended to a Trace, stamped with the simulated global clock, and later
+// consumed by the epoch analysis (internal/epoch), the cache simulation
+// (internal/cachesim) and the HOPS timing replay (internal/hops).
+package trace
+
+import (
+	"fmt"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+const (
+	// KStore is a cacheable store to PM (PM_SET / PM_MEMCPY ...).
+	KStore Kind = iota
+	// KStoreNT is a non-temporal store to PM (PM_MOVNTI).
+	KStoreNT
+	// KLoad is a load from PM.
+	KLoad
+	// KFlush is a CLWB of one or more lines (PM_FLUSH).
+	KFlush
+	// KFence is an SFENCE (PM_FENCE); it ends the thread's current epoch.
+	KFence
+	// KTxBegin marks the start of a durable transaction.
+	KTxBegin
+	// KTxEnd marks the end (commit) of a durable transaction.
+	KTxEnd
+	// KVLoad is a volatile (DRAM) load; recorded only when the runtime is
+	// configured to trace volatile traffic (Figure 6 studies).
+	KVLoad
+	// KVStore is a volatile (DRAM) store.
+	KVStore
+	// KUserData marks size bytes of the enclosing transaction's payload as
+	// user data, as opposed to log/allocator/metadata bytes. The write
+	// amplification analysis (§5.2) divides total PM bytes by user bytes.
+	KUserData
+)
+
+var kindNames = [...]string{
+	KStore: "store", KStoreNT: "store.nt", KLoad: "load", KFlush: "flush",
+	KFence: "fence", KTxBegin: "tx.begin", KTxEnd: "tx.end",
+	KVLoad: "vload", KVStore: "vstore", KUserData: "userdata",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record. Addr/Size are meaningful for memory events;
+// for KFence, KTxBegin and KTxEnd they are zero. For KUserData, Size holds
+// the payload byte count.
+type Event struct {
+	Time mem.Time
+	Addr mem.Addr
+	Size uint32
+	TID  int32
+	Kind Kind
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KFence, KTxBegin, KTxEnd:
+		return fmt.Sprintf("%d t%d %s", e.Time, e.TID, e.Kind)
+	default:
+		return fmt.Sprintf("%d t%d %s %v+%d", e.Time, e.TID, e.Kind, e.Addr, e.Size)
+	}
+}
+
+// IsPMWrite reports whether e writes persistent memory.
+func (e Event) IsPMWrite() bool { return e.Kind == KStore || e.Kind == KStoreNT }
+
+// Trace is an in-memory sequence of events plus run metadata.
+type Trace struct {
+	App     string // application name ("echo", "ycsb", ...)
+	Layer   string // access layer ("native", "mnemosyne", "nvml", "pmfs")
+	Threads int    // number of logical client threads
+
+	Events []Event
+
+	// VolatileLoads/VolatileStores aggregate DRAM traffic when per-event
+	// volatile tracing is off (the common case; see persist.Config).
+	VolatileLoads  uint64
+	VolatileStores uint64
+}
+
+// Append adds an event.
+func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Duration returns the simulated time spanned by the trace.
+func (t *Trace) Duration() mem.Time {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].Time - t.Events[0].Time
+}
+
+// CountKind returns the number of events of kind k.
+func (t *Trace) CountKind(k Kind) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// PMAccesses returns the number of PM loads+stores (cacheable and NTI).
+func (t *Trace) PMAccesses() uint64 {
+	var n uint64
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KStore, KStoreNT, KLoad:
+			n++
+		}
+	}
+	return n
+}
+
+// DRAMAccesses returns the number of volatile loads+stores, combining
+// per-event records with the aggregate counters.
+func (t *Trace) DRAMAccesses() uint64 {
+	n := t.VolatileLoads + t.VolatileStores
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KVLoad, KVStore:
+			n++
+		}
+	}
+	return n
+}
+
+// ByThread splits events by thread ID, preserving order.
+func (t *Trace) ByThread() map[int32][]Event {
+	out := make(map[int32][]Event)
+	for _, e := range t.Events {
+		out[e.TID] = append(out[e.TID], e)
+	}
+	return out
+}
+
+// Filter returns the events satisfying keep, in order.
+func (t *Trace) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

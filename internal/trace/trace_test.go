@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+)
+
+func sampleTrace() *Trace {
+	t := &Trace{App: "echo", Layer: "native", Threads: 4,
+		VolatileLoads: 1000, VolatileStores: 500}
+	t.Append(Event{Time: 10, TID: 0, Kind: KTxBegin})
+	t.Append(Event{Time: 12, Addr: mem.PMBase + 64, Size: 8, TID: 0, Kind: KStore})
+	t.Append(Event{Time: 14, Addr: mem.PMBase + 64, Size: 8, TID: 0, Kind: KFlush})
+	t.Append(Event{Time: 20, TID: 0, Kind: KFence})
+	t.Append(Event{Time: 25, Addr: mem.PMBase + 128, Size: 16, TID: 1, Kind: KStoreNT})
+	t.Append(Event{Time: 30, TID: 1, Kind: KFence})
+	t.Append(Event{Time: 31, Addr: mem.PMBase + 64, Size: 8, TID: 0, Kind: KLoad})
+	t.Append(Event{Time: 40, TID: 0, Kind: KTxEnd})
+	return t
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig := &Trace{App: "rand", Layer: "nvml", Threads: 8}
+	for i := 0; i < 5000; i++ {
+		orig.Append(Event{
+			Time: mem.Time(rng.Uint64() % (1 << 40)),
+			Addr: mem.Addr(rng.Uint64() % (1 << 44)),
+			Size: rng.Uint32() % 4096,
+			TID:  int32(rng.Intn(8)),
+			Kind: Kind(rng.Intn(int(KUserData) + 1)),
+		})
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("random round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not a trace at all")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	if _, err := Decode(strings.NewReader("WSPR")); err == nil {
+		t.Error("Decode accepted truncated header")
+	}
+	if _, err := Decode(strings.NewReader("WSPR\x63")); err == nil {
+		t.Error("Decode accepted wrong version")
+	}
+}
+
+func TestDecodeRejectsTruncatedEvents(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("Decode accepted truncated event stream")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.CountKind(KFence); got != 2 {
+		t.Errorf("CountKind(KFence) = %d, want 2", got)
+	}
+	if got := tr.PMAccesses(); got != 3 { // store, storeNT, load
+		t.Errorf("PMAccesses = %d, want 3", got)
+	}
+	if got := tr.DRAMAccesses(); got != 1500 {
+		t.Errorf("DRAMAccesses = %d, want 1500", got)
+	}
+	if tr.Duration() != 30 {
+		t.Errorf("Duration = %d, want 30", tr.Duration())
+	}
+}
+
+func TestByThread(t *testing.T) {
+	tr := sampleTrace()
+	by := tr.ByThread()
+	if len(by[0]) != 6 || len(by[1]) != 2 {
+		t.Errorf("ByThread sizes = %d/%d, want 6/2", len(by[0]), len(by[1]))
+	}
+	for tid, evs := range by {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time < evs[i-1].Time {
+				t.Errorf("thread %d events out of order", tid)
+			}
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := sampleTrace()
+	writes := tr.Filter(func(e Event) bool { return e.IsPMWrite() })
+	if len(writes) != 2 {
+		t.Errorf("Filter writes = %d, want 2", len(writes))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KStore.String() != "store" || KFence.String() != "fence" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind should include numeric value")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 5, TID: 2, Kind: KFence}
+	if !strings.Contains(e.String(), "fence") {
+		t.Errorf("event string %q missing kind", e.String())
+	}
+	s := Event{Time: 5, TID: 2, Kind: KStore, Addr: mem.PMBase, Size: 8}.String()
+	if !strings.Contains(s, "pm") {
+		t.Errorf("store string %q missing region", s)
+	}
+}
