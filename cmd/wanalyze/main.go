@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"github.com/whisper-pm/whisper"
@@ -39,6 +40,7 @@ func main() {
 	dir := flag.String("dir", "", "directory of saved .wspr traces")
 	ops := flag.Int("ops", 0, "operations per client when regenerating")
 	seed := flag.Int64("seed", 1, "workload seed when regenerating")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent benchmark runs with -run (1 = serial)")
 	fig3 := flag.Bool("fig3", false, "print Figure 3 (epochs per transaction)")
 	fig4 := flag.Bool("fig4", false, "print Figure 4 (epoch size distribution)")
 	fig5 := flag.Bool("fig5", false, "print Figure 5 (dependencies)")
@@ -48,7 +50,7 @@ func main() {
 
 	all := !*fig3 && !*fig4 && !*fig5 && !*amp && !*nti
 
-	reports := collect(*run, *dir, *ops, *seed)
+	reports := collect(*run, *dir, *ops, *seed, *parallel)
 	if len(reports) == 0 {
 		fmt.Fprintln(os.Stderr, "wanalyze: nothing to analyze (use -run or -dir)")
 		os.Exit(1)
@@ -117,10 +119,12 @@ func main() {
 	}
 }
 
-func collect(run bool, dir string, ops int, seed int64) []*whisper.Report {
+func collect(run bool, dir string, ops int, seed int64, parallel int) []*whisper.Report {
 	var out []*whisper.Report
 	if run {
-		reps, err := whisper.RunAll(whisper.Config{Ops: ops, Seed: seed})
+		// Suite members are independent runs; regenerate them concurrently.
+		// Reports are identical to serial regeneration for a fixed seed.
+		reps, err := whisper.RunAllParallel(whisper.Config{Ops: ops, Seed: seed}, parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	whisper [-bench name] [-clients n] [-ops n] [-seed n] [-trace dir] [-table1]
+//	whisper [-bench name] [-clients n] [-ops n] [-seed n] [-parallel n] [-trace dir] [-table1]
 //
-// With no -bench, the whole suite runs.
+// With no -bench, the whole suite runs, up to -parallel benchmarks at a
+// time (default: one worker per CPU). Each run owns its own simulated
+// device and scheduler and is seeded independently, so the output is
+// byte-identical to -parallel=1 for a fixed seed.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"github.com/whisper-pm/whisper"
 )
@@ -23,13 +27,28 @@ func main() {
 	clients := flag.Int("clients", 0, "client threads (0 = paper default)")
 	ops := flag.Int("ops", 0, "operations per client (0 = suite default)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent benchmark runs (1 = serial)")
 	traceDir := flag.String("trace", "", "directory to save raw traces")
 	table1 := flag.Bool("table1", false, "print only the Table 1 epoch-rate rows")
 	flag.Parse()
 
-	names := whisper.Names()
+	cfg := whisper.Config{Clients: *clients, Ops: *ops, Seed: *seed}
+
+	var reports []*whisper.Report
 	if *bench != "" {
-		names = []string{*bench}
+		rep, err := whisper.Run(*bench, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reports = []*whisper.Report{rep}
+	} else {
+		var err error
+		reports, err = whisper.RunAllParallel(cfg, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *table1 {
@@ -41,22 +60,15 @@ func main() {
 		"memcached": "1.5M", "nfs": "250K", "exim": "6250", "mysql": "60K",
 	}
 
-	for _, name := range names {
-		rep, err := whisper.Run(name, whisper.Config{
-			Clients: *clients, Ops: *ops, Seed: *seed,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	for _, rep := range reports {
 		if *table1 {
 			fmt.Printf("%-10s %-10s %-14.3g %s\n", rep.App, rep.Layer,
-				rep.EpochsPerSecond, paperRates[name])
+				rep.EpochsPerSecond, paperRates[rep.App])
 		} else {
 			fmt.Print(rep.String())
 		}
 		if *traceDir != "" {
-			if err := saveTrace(*traceDir, name, rep); err != nil {
+			if err := saveTrace(*traceDir, rep.App, rep); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -20,6 +20,7 @@ package echo
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"github.com/whisper-pm/whisper/internal/alloc"
 	"github.com/whisper-pm/whisper/internal/mem"
@@ -181,17 +182,26 @@ func (s *Store) SubmitBatch(tid int) int {
 	th.Fence()
 
 	// Append each update to the client's persistent submission log, one
-	// epoch per record (Echo finalizes updates individually).
+	// epoch per record (Echo finalizes updates individually). Finalize in
+	// sorted key order: ranging over the staged map directly would make the
+	// log layout — and every downstream trace and master-KVS address —
+	// depend on Go map iteration order, breaking the bit-for-bit
+	// reproducibility the deterministic scheduler promises.
+	keys := make([]uint64, 0, len(staged))
+	for h := range staged {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	log := s.logs[tid]
 	n := 0
-	for h, v := range staged {
+	for _, h := range keys {
 		if n >= s.cfg.BatchSize {
 			break
 		}
 		rec := log + mem.Addr(n*16)
 		var buf [16]byte
 		binary.LittleEndian.PutUint64(buf[0:], h)
-		binary.LittleEndian.PutUint64(buf[8:], v)
+		binary.LittleEndian.PutUint64(buf[8:], staged[h])
 		th.Store(rec, buf[:])
 		th.Flush(rec, 16)
 		th.Fence()

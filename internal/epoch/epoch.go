@@ -30,6 +30,12 @@ const NumSizeBuckets = 7
 
 func sizeBucket(lines int) int {
 	switch {
+	case lines <= 0:
+		// Defensive: zero-line epochs are skipped by Analyze before
+		// bucketing (a fence preceded only by flushes or zero-byte stores
+		// closes no epoch); without this clamp they would index bucket -1
+		// and panic.
+		return 0
 	case lines <= 5:
 		return lines - 1
 	case lines < 64:
@@ -143,8 +149,17 @@ func Analyze(tr *trace.Trace) *Analysis {
 
 		case trace.KFence:
 			oe := open[e.TID]
-			if oe == nil || !oe.dirty {
-				continue // empty epoch: a fence with no preceding stores
+			if oe == nil || len(oe.lines) == 0 {
+				// Empty epoch: §5.1 measures epochs in unique 64 B lines
+				// written between fences, so a fence preceded only by
+				// flushes (the legal dfence-style ordering idiom) or by
+				// zero-byte stores orders nothing and closes no epoch.
+				// Reset any zero-line open state so a stale start time
+				// cannot leak into the next real epoch.
+				if oe != nil && oe.dirty {
+					open[e.TID] = newOpenEpoch()
+				}
+				continue
 			}
 			a.closeEpoch(e.TID, e.Time, oe, lastWriter)
 			open[e.TID] = newOpenEpoch()

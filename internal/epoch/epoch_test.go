@@ -257,6 +257,47 @@ func TestInterleavedThreadsIndependentEpochs(t *testing.T) {
 	}
 }
 
+// TestFlushOnlyEpochDoesNotPanic drives the dfence idiom — a fence whose
+// only preceding PM activity is cache flushes — through the analysis. The
+// fence orders earlier epochs but writes no lines, so it must close no
+// epoch (and in particular must not reach sizeBucket with zero lines,
+// which would index bucket -1).
+func TestFlushOnlyEpochDoesNotPanic(t *testing.T) {
+	a := Analyze(mk(
+		trace.Event{Kind: trace.KFlush, TID: 0, Time: 1, Addr: pm, Size: 64},
+		trace.Event{Kind: trace.KFlush, TID: 0, Time: 2, Addr: pm + 64, Size: 64},
+		fence(0, 3),
+	))
+	if a.TotalEpochs != 0 {
+		t.Fatalf("flush-then-fence counted as an epoch: %d", a.TotalEpochs)
+	}
+}
+
+// TestZeroByteStoreEpochSkipped covers the other zero-line path: a store
+// of size zero touches no lines but used to mark the open epoch dirty.
+func TestZeroByteStoreEpochSkipped(t *testing.T) {
+	a := Analyze(mk(
+		st(0, 1, pm, 0),
+		fence(0, 2),
+		st(0, 10, pm, 8), // a real epoch afterwards still counts
+		fence(0, 11),
+	))
+	if a.TotalEpochs != 1 {
+		t.Fatalf("TotalEpochs = %d, want 1", a.TotalEpochs)
+	}
+	if a.SizeHist[0] != 1 {
+		t.Fatalf("SizeHist = %v", a.SizeHist)
+	}
+}
+
+func TestSizeBucketDefensive(t *testing.T) {
+	for _, lines := range []int{-5, 0} {
+		if got := sizeBucket(lines); got != 0 {
+			t.Errorf("sizeBucket(%d) = %d, want clamp to 0", lines, got)
+		}
+	}
+}
+
 func TestMedianEmptyIsZero(t *testing.T) {
 	a := Analyze(mk())
 	if a.MedianTxEpochs() != 0 || a.EpochsPerSecond() != 0 || a.PMFraction() != 0 {

@@ -36,6 +36,23 @@ func LineOf(a Addr) Line { return Line(a >> LineShift) }
 // LineAddr returns the first byte address of line l.
 func LineAddr(l Line) Addr { return Addr(l) << LineShift }
 
+// PageShift is log2(PageLines). Pages are the unit of the simulated
+// device's two-level line table (internal/pmem): 64 lines of 64 bytes,
+// i.e. one 4 KiB page of data per table leaf.
+const PageShift = 6
+
+// PageLines is the number of cache lines per page.
+const PageLines = 1 << PageShift
+
+// PageOf returns the page index containing line l.
+func PageOf(l Line) uint64 { return uint64(l) >> PageShift }
+
+// PageIndex returns l's slot within its page (0..PageLines-1).
+func PageIndex(l Line) uint { return uint(l) & (PageLines - 1) }
+
+// PageFirstLine returns the first line of page p.
+func PageFirstLine(p uint64) Line { return Line(p << PageShift) }
+
 // IsPM reports whether a falls in the persistent range.
 func IsPM(a Addr) bool { return a >= PMBase }
 

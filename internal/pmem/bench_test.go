@@ -1,0 +1,106 @@
+package pmem
+
+// Microbenchmarks for the device hot path: every PM store an application
+// performs funnels through Store/Flush/Fence, so allocations here multiply
+// across the whole suite. Before/after numbers for the paged-arena image
+// (vs the seed's map-per-line device) are recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+)
+
+// BenchmarkDeviceStore measures a single-line cacheable store.
+func BenchmarkDeviceStore(b *testing.B) {
+	d := New()
+	a := d.Map(1 << 20)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Store(0, a+mem.Addr((i%4096)*16), buf)
+	}
+}
+
+// BenchmarkDeviceStoreSpan measures a store spanning four cache lines, the
+// shape of log-entry and block writes.
+func BenchmarkDeviceStoreSpan(b *testing.B) {
+	d := New()
+	a := d.Map(1 << 20)
+	buf := make([]byte, 4*mem.LineSize)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Store(0, a+mem.Addr((i%1024)*4*mem.LineSize), buf)
+	}
+}
+
+// BenchmarkDeviceStoreFlushFence measures the complete native-persistence
+// sequence (store, CLWB, SFENCE) — the hottest path in the repo: every
+// singleton epoch in Figure 4 is exactly this.
+func BenchmarkDeviceStoreFlushFence(b *testing.B) {
+	d := New()
+	a := d.Map(1 << 20)
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := a + mem.Addr((i%4096)*64)
+		d.Store(0, addr, buf)
+		d.Flush(0, addr, len(buf))
+		d.Fence(0)
+	}
+}
+
+// BenchmarkDeviceStoreNTFence measures the non-temporal path (PM_MOVNTI +
+// SFENCE) used by PMFS block writes and log appends.
+func BenchmarkDeviceStoreNTFence(b *testing.B) {
+	d := New()
+	a := d.Map(1 << 20)
+	buf := make([]byte, mem.LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := a + mem.Addr((i%4096)*64)
+		d.StoreNT(0, addr, buf)
+		d.Fence(0)
+	}
+}
+
+// BenchmarkDeviceLoad measures a warm single-line load.
+func BenchmarkDeviceLoad(b *testing.B) {
+	d := New()
+	a := d.Map(1 << 20)
+	for i := 0; i < 4096; i++ {
+		d.Store(0, a+mem.Addr(i*64), []byte{byte(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Load(0, a+mem.Addr((i%4096)*64), 8)
+	}
+}
+
+// BenchmarkDeviceCrash measures adversarial crash injection over a device
+// with in-flight state on four threads.
+func BenchmarkDeviceCrash(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := New()
+		a := d.Map(1 << 16)
+		for tid := ThreadID(0); tid < 4; tid++ {
+			for j := 0; j < 64; j++ {
+				addr := a + mem.Addr(j*64)
+				d.Store(tid, addr, []byte{byte(tid), byte(j)})
+				if j%2 == 0 {
+					d.Flush(tid, addr, 2)
+				}
+			}
+		}
+		b.StartTimer()
+		d.Crash(Adversarial, int64(i))
+	}
+}

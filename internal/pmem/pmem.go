@@ -14,6 +14,12 @@
 // non-temporal stores (NTI) drained by an SFENCE. Until then the bytes sit
 // in simulated caches/WCBs and are at the mercy of a crash.
 //
+// Both images are paged arenas: a two-level line table whose leaves hold 64
+// contiguous cache lines (one 4 KiB page of data), with copy-on-first-write
+// from the durable image into the live image. The page table replaces the
+// seed's map-per-line layout, which paid a heap allocation and a map lookup
+// for every 64 B line on the hottest path in the repo.
+//
 // Crash injection supports two adversaries:
 //
 //   - Strict: everything not explicitly persisted is lost. This is the
@@ -24,6 +30,7 @@
 package pmem
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -38,13 +45,61 @@ type ThreadID int
 
 type line [mem.LineSize]byte
 
+// page is one leaf of the two-level line table: mem.PageLines contiguous
+// cache lines (4 KiB of data). In the live image, dirty is a bitmap of
+// lines whose bytes differ from the durable image due to cacheable stores
+// not yet written back; the durable image leaves it zero.
+type page struct {
+	dirty uint64
+	data  [mem.PageLines]line
+}
+
+// image is a paged memory image: the first level maps a page index
+// (Line >> mem.PageShift) to a leaf page, the second level is the leaf's
+// line array. A one-entry cache short-circuits the map lookup for the
+// common run of accesses to the same page.
+type image struct {
+	pages   map[uint64]*page
+	lastIdx uint64
+	lastPg  *page
+}
+
+func newImage() image {
+	return image{pages: make(map[uint64]*page)}
+}
+
+// lookup returns the page containing l, or nil if the page was never
+// written.
+func (im *image) lookup(l mem.Line) *page {
+	idx := mem.PageOf(l)
+	if im.lastPg != nil && im.lastIdx == idx {
+		return im.lastPg
+	}
+	pg := im.pages[idx]
+	if pg != nil {
+		im.lastIdx, im.lastPg = idx, pg
+	}
+	return pg
+}
+
+// lineValue returns a copy of line l's bytes (zero if never written).
+func (im *image) lineValue(l mem.Line) line {
+	if pg := im.lookup(l); pg != nil {
+		return pg.data[mem.PageIndex(l)]
+	}
+	return line{}
+}
+
 // Stats counts device-level activity. All counts are since construction or
-// the last ResetStats.
+// the last ResetStats. Memory-operation counters (Stores, NTStores, Loads,
+// Flushes) count one per 64 B line touched, matching how the paper counts
+// PM accesses: a store spanning three lines is three stores, exactly as a
+// flush of three lines is three CLWBs.
 type Stats struct {
-	Stores       uint64 // cacheable PM stores
-	NTStores     uint64 // non-temporal PM stores
-	Loads        uint64 // PM loads
-	Flushes      uint64 // CLWB operations issued
+	Stores       uint64 // cacheable PM stores (per line touched)
+	NTStores     uint64 // non-temporal PM stores (per line touched)
+	Loads        uint64 // PM loads (per line touched)
+	Flushes      uint64 // CLWB operations issued (per line)
 	Fences       uint64 // SFENCE operations issued
 	LinesPersist uint64 // lines made durable by fences
 	BytesStored  uint64 // bytes written to PM (cacheable + NTI)
@@ -62,24 +117,32 @@ const (
 	Adversarial
 )
 
+// threadBuf holds one thread's volatile write-back machinery: flushed is
+// the set of CLWB snapshots that become durable at the thread's next
+// SFENCE, wcb the non-temporal stores awaiting the same. The maps are
+// retained (cleared, not dropped) across fences so steady-state epochs
+// allocate nothing.
+type threadBuf struct {
+	flushed map[mem.Line]line
+	wcb     map[mem.Line]line
+}
+
 // Device is the simulated PM device plus the volatile machinery (caches,
 // WCBs) in front of it. It is not safe for concurrent use; the
-// deterministic scheduler (internal/sched) serializes all access.
+// deterministic scheduler (internal/sched) serializes all access, and the
+// parallel suite runner gives every run its own Device.
 type Device struct {
-	live    map[mem.Line]*line
-	durable map[mem.Line]*line
+	live    image
+	durable image
 
-	// dirty tracks lines whose live image differs from the durable image
-	// and that were written with cacheable stores (i.e. sit in a cache).
-	dirty map[mem.Line]bool
+	// ndirty counts lines whose live image differs from the durable image
+	// due to cacheable stores (the set bits across live pages' dirty maps).
+	ndirty int
 
-	// flushed holds, per thread, snapshots taken by CLWB that become
-	// durable at that thread's next SFENCE.
-	flushed map[ThreadID]map[mem.Line]line
-
-	// wcb holds, per thread, non-temporal stores awaiting an SFENCE.
-	// NTI data is snapshotted at store time (it bypasses the cache).
-	wcb map[ThreadID]map[mem.Line]line
+	// threads holds per-thread flush/WCB buffers, indexed by ThreadID so
+	// that every per-thread iteration is in ascending thread order by
+	// construction — crash injection must not depend on map order.
+	threads []threadBuf
 
 	next  mem.Addr // bump pointer for Map
 	stats Stats
@@ -88,11 +151,8 @@ type Device struct {
 // New creates an empty device whose persistent range starts at mem.PMBase.
 func New() *Device {
 	return &Device{
-		live:    make(map[mem.Line]*line),
-		durable: make(map[mem.Line]*line),
-		dirty:   make(map[mem.Line]bool),
-		flushed: make(map[ThreadID]map[mem.Line]line),
-		wcb:     make(map[ThreadID]map[mem.Line]line),
+		live:    newImage(),
+		durable: newImage(),
 		next:    mem.PMBase,
 	}
 }
@@ -114,16 +174,50 @@ func (d *Device) Map(size int) mem.Addr {
 	return base
 }
 
-func (d *Device) liveLine(l mem.Line) *line {
-	ln := d.live[l]
-	if ln == nil {
-		ln = &line{}
-		if dur := d.durable[l]; dur != nil {
-			*ln = *dur
-		}
-		d.live[l] = ln
+// livePage returns the live page containing l, creating it on first write
+// with a copy of the durable page (copy-on-first-write).
+func (d *Device) livePage(l mem.Line) *page {
+	idx := mem.PageOf(l)
+	if d.live.lastPg != nil && d.live.lastIdx == idx {
+		return d.live.lastPg
 	}
-	return ln
+	pg := d.live.pages[idx]
+	if pg == nil {
+		pg = &page{}
+		if dur := d.durable.pages[idx]; dur != nil {
+			pg.data = dur.data
+		}
+		d.live.pages[idx] = pg
+	}
+	d.live.lastIdx, d.live.lastPg = idx, pg
+	return pg
+}
+
+// durablePage returns the durable page containing l, creating a zero page
+// on first persist.
+func (d *Device) durablePage(l mem.Line) *page {
+	idx := mem.PageOf(l)
+	if d.durable.lastPg != nil && d.durable.lastIdx == idx {
+		return d.durable.lastPg
+	}
+	pg := d.durable.pages[idx]
+	if pg == nil {
+		pg = &page{}
+		d.durable.pages[idx] = pg
+	}
+	d.durable.lastIdx, d.durable.lastPg = idx, pg
+	return pg
+}
+
+// buf returns tid's flush/WCB buffers, growing the thread table on demand.
+func (d *Device) buf(tid ThreadID) *threadBuf {
+	if tid < 0 {
+		panic(fmt.Sprintf("pmem: negative thread id %d", tid))
+	}
+	for int(tid) >= len(d.threads) {
+		d.threads = append(d.threads, threadBuf{})
+	}
+	return &d.threads[tid]
 }
 
 func checkRange(a mem.Addr, size int) {
@@ -140,11 +234,21 @@ func checkRange(a mem.Addr, size int) {
 // lucky adversarial eviction).
 func (d *Device) Store(tid ThreadID, a mem.Addr, data []byte) {
 	checkRange(a, len(data))
-	d.writeLive(a, data)
-	for _, l := range mem.Lines(a, len(data)) {
-		d.dirty[l] = true
+	off := 0
+	for off < len(data) {
+		ad := a + mem.Addr(off)
+		l := mem.LineOf(ad)
+		pg := d.livePage(l)
+		li := mem.PageIndex(l)
+		start := int(ad - mem.LineAddr(l))
+		n := copy(pg.data[li][start:], data[off:])
+		off += n
+		if pg.dirty&(1<<li) == 0 {
+			pg.dirty |= 1 << li
+			d.ndirty++
+		}
+		d.stats.Stores++
 	}
-	d.stats.Stores++
 	d.stats.BytesStored += uint64(len(data))
 }
 
@@ -153,31 +257,29 @@ func (d *Device) Store(tid ThreadID, a mem.Addr, data []byte) {
 // next SFENCE.
 func (d *Device) StoreNT(tid ThreadID, a mem.Addr, data []byte) {
 	checkRange(a, len(data))
-	d.writeLive(a, data)
-	w := d.wcb[tid]
-	if w == nil {
-		w = make(map[mem.Line]line)
-		d.wcb[tid] = w
+	w := d.buf(tid)
+	if w.wcb == nil {
+		w.wcb = make(map[mem.Line]line)
 	}
-	for _, l := range mem.Lines(a, len(data)) {
-		w[l] = *d.liveLine(l)
-		// NTI does not leave the line dirty in the cache; if it was
-		// dirty before, the WCB snapshot now carries the latest bytes.
-		delete(d.dirty, l)
-	}
-	d.stats.NTStores++
-	d.stats.BytesStored += uint64(len(data))
-}
-
-func (d *Device) writeLive(a mem.Addr, data []byte) {
 	off := 0
 	for off < len(data) {
-		l := mem.LineOf(a + mem.Addr(off))
-		ln := d.liveLine(l)
-		start := int((a + mem.Addr(off)) - mem.LineAddr(l))
-		n := copy(ln[start:], data[off:])
+		ad := a + mem.Addr(off)
+		l := mem.LineOf(ad)
+		pg := d.livePage(l)
+		li := mem.PageIndex(l)
+		start := int(ad - mem.LineAddr(l))
+		n := copy(pg.data[li][start:], data[off:])
 		off += n
+		w.wcb[l] = pg.data[li]
+		// NTI does not leave the line dirty in the cache; if it was
+		// dirty before, the WCB snapshot now carries the latest bytes.
+		if pg.dirty&(1<<li) != 0 {
+			pg.dirty &^= 1 << li
+			d.ndirty--
+		}
+		d.stats.NTStores++
 	}
+	d.stats.BytesStored += uint64(len(data))
 }
 
 // Load reads size bytes at a from the live image.
@@ -186,18 +288,17 @@ func (d *Device) Load(tid ThreadID, a mem.Addr, size int) []byte {
 	out := make([]byte, size)
 	off := 0
 	for off < size {
-		l := mem.LineOf(a + mem.Addr(off))
-		ln := d.live[l]
-		start := int((a + mem.Addr(off)) - mem.LineAddr(l))
-		if ln == nil {
+		ad := a + mem.Addr(off)
+		l := mem.LineOf(ad)
+		start := int(ad - mem.LineAddr(l))
+		if pg := d.live.lookup(l); pg != nil {
+			off += copy(out[off:], pg.data[mem.PageIndex(l)][start:])
+		} else {
 			// Unwritten memory reads as zero; skip the copy.
 			off += mem.LineSize - start
-			continue
 		}
-		n := copy(out[off:], ln[start:])
-		off += n
+		d.stats.Loads++
 	}
-	d.stats.Loads++
 	return out
 }
 
@@ -206,44 +307,53 @@ func (d *Device) Load(tid ThreadID, a mem.Addr, size int) []byte {
 // thread's next SFENCE.
 func (d *Device) Flush(tid ThreadID, a mem.Addr, size int) {
 	checkRange(a, size)
-	f := d.flushed[tid]
-	if f == nil {
-		f = make(map[mem.Line]line)
-		d.flushed[tid] = f
+	b := d.buf(tid)
+	if b.flushed == nil {
+		b.flushed = make(map[mem.Line]line)
 	}
-	for _, l := range mem.Lines(a, size) {
-		f[l] = *d.liveLine(l)
+	n := mem.LinesSpanned(a, size)
+	l := mem.LineOf(a)
+	for i := 0; i < n; i++ {
+		pg := d.livePage(l)
+		b.flushed[l] = pg.data[mem.PageIndex(l)]
 		d.stats.Flushes++
+		l++
 	}
 }
 
 // Fence issues SFENCE for tid: all of the thread's outstanding flushes and
 // write-combining entries become durable.
 func (d *Device) Fence(tid ThreadID) {
-	for l, snap := range d.flushed[tid] {
-		d.persistLine(l, snap)
+	if tid >= 0 && int(tid) < len(d.threads) {
+		b := &d.threads[tid]
+		// Within one thread a line flushed and NT-stored persists the WCB
+		// snapshot (processed second), mirroring program order on x86.
+		// Distinct lines commute, so map iteration order is immaterial.
+		for l, snap := range b.flushed {
+			d.persistLine(l, snap)
+		}
+		clear(b.flushed)
+		for l, snap := range b.wcb {
+			d.persistLine(l, snap)
+		}
+		clear(b.wcb)
 	}
-	delete(d.flushed, tid)
-	for l, snap := range d.wcb[tid] {
-		d.persistLine(l, snap)
-	}
-	delete(d.wcb, tid)
 	d.stats.Fences++
 }
 
 func (d *Device) persistLine(l mem.Line, snap line) {
-	dur := d.durable[l]
-	if dur == nil {
-		dur = &line{}
-		d.durable[l] = dur
-	}
-	*dur = snap
+	// Materialize the live page first (copying the pre-update durable
+	// bytes) so persisting never changes what loads observe.
+	lp := d.livePage(l)
+	li := mem.PageIndex(l)
+	d.durablePage(l).data[li] = snap
 	d.stats.LinesPersist++
 	// If the live image still matches what we just persisted, the line is
 	// clean again. A later cacheable store may have re-dirtied it; compare
 	// to be exact.
-	if live := d.live[l]; live != nil && *live == snap {
-		delete(d.dirty, l)
+	if lp.dirty&(1<<li) != 0 && lp.data[li] == snap {
+		lp.dirty &^= 1 << li
+		d.ndirty--
 	}
 }
 
@@ -255,18 +365,31 @@ func (d *Device) persistLine(l mem.Line, snap line) {
 func (d *Device) Crash(mode CrashMode, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	if mode == Adversarial {
-		// Collect candidate in-flight lines in deterministic order.
+		// Collect candidate in-flight lines. When several snapshots of the
+		// same line are buffered, the surviving one is fixed by collection
+		// order — dirty cache lines, then flushed snapshots in ascending
+		// thread order, then WCB entries in ascending thread order, later
+		// entries overriding earlier ones — so the post-crash image is a
+		// pure function of device state and seed, never of Go map
+		// iteration order.
 		cands := make(map[mem.Line]line)
-		for l := range d.dirty {
-			cands[l] = *d.liveLine(l)
+		for idx, pg := range d.live.pages {
+			if pg.dirty == 0 {
+				continue
+			}
+			for li := uint(0); li < mem.PageLines; li++ {
+				if pg.dirty&(1<<li) != 0 {
+					cands[mem.PageFirstLine(idx)+mem.Line(li)] = pg.data[li]
+				}
+			}
 		}
-		for _, f := range d.flushed {
-			for l, snap := range f {
+		for tid := range d.threads {
+			for l, snap := range d.threads[tid].flushed {
 				cands[l] = snap
 			}
 		}
-		for _, w := range d.wcb {
-			for l, snap := range w {
+		for tid := range d.threads {
+			for l, snap := range d.threads[tid].wcb {
 				cands[l] = snap
 			}
 		}
@@ -282,14 +405,14 @@ func (d *Device) Crash(mode CrashMode, seed int64) {
 		}
 	}
 	// Reset volatile state: live becomes a copy of durable.
-	d.live = make(map[mem.Line]*line, len(d.durable))
-	for l, dur := range d.durable {
-		cp := *dur
-		d.live[l] = &cp
+	d.live = image{pages: make(map[uint64]*page, len(d.durable.pages))}
+	for idx, pg := range d.durable.pages {
+		d.live.pages[idx] = &page{data: pg.data}
 	}
-	d.dirty = make(map[mem.Line]bool)
-	d.flushed = make(map[ThreadID]map[mem.Line]line)
-	d.wcb = make(map[ThreadID]map[mem.Line]line)
+	d.ndirty = 0
+	for i := range d.threads {
+		d.threads[i] = threadBuf{}
+	}
 	d.stats.Crashes++
 }
 
@@ -300,15 +423,14 @@ func (d *Device) Durable(a mem.Addr, size int) []byte {
 	out := make([]byte, size)
 	off := 0
 	for off < size {
-		l := mem.LineOf(a + mem.Addr(off))
-		ln := d.durable[l]
-		start := int((a + mem.Addr(off)) - mem.LineAddr(l))
-		if ln == nil {
+		ad := a + mem.Addr(off)
+		l := mem.LineOf(ad)
+		start := int(ad - mem.LineAddr(l))
+		if pg := d.durable.lookup(l); pg != nil {
+			off += copy(out[off:], pg.data[mem.PageIndex(l)][start:])
+		} else {
 			off += mem.LineSize - start
-			continue
 		}
-		n := copy(out[off:], ln[start:])
-		off += n
 	}
 	return out
 }
@@ -316,24 +438,38 @@ func (d *Device) Durable(a mem.Addr, size int) []byte {
 // IsDurable reports whether the live bytes at [a, a+size) all match the
 // durable image.
 func (d *Device) IsDurable(a mem.Addr, size int) bool {
-	live := d.Load(0, a, size)
-	d.stats.Loads-- // introspection, not an application load
-	dur := d.Durable(a, size)
-	for i := range live {
-		if live[i] != dur[i] {
+	checkRange(a, size)
+	off := 0
+	for off < size {
+		ad := a + mem.Addr(off)
+		l := mem.LineOf(ad)
+		start := int(ad - mem.LineAddr(l))
+		end := start + (size - off)
+		if end > mem.LineSize {
+			end = mem.LineSize
+		}
+		lv := d.live.lineValue(l)
+		dv := d.durable.lineValue(l)
+		if !bytes.Equal(lv[start:end], dv[start:end]) {
 			return false
 		}
+		off += end - start
 	}
 	return true
 }
 
 // DirtyLines returns the number of lines whose live image differs from the
 // durable image and that have not been flushed.
-func (d *Device) DirtyLines() int { return len(d.dirty) }
+func (d *Device) DirtyLines() int { return d.ndirty }
 
 // PendingFlushes returns the number of lines flushed by tid but not yet
 // fenced.
-func (d *Device) PendingFlushes(tid ThreadID) int { return len(d.flushed[tid]) }
+func (d *Device) PendingFlushes(tid ThreadID) int {
+	if tid < 0 || int(tid) >= len(d.threads) {
+		return 0
+	}
+	return len(d.threads[tid].flushed)
+}
 
 // Stats returns a copy of the device counters.
 func (d *Device) Stats() Stats { return d.stats }

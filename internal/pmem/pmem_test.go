@@ -193,6 +193,49 @@ func TestAdversarialCrashDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestAdversarialCrashDeterministicAcrossRuns rebuilds the same
+// multi-thread device state 50 times and demands bit-identical durable
+// images after an adversarial crash with a fixed seed. When several
+// threads hold buffered snapshots of the same line (flushed-but-unfenced
+// CLWBs, WCB entries), which snapshot the adversary persists must be a
+// pure function of device state and seed — not of Go map iteration order.
+// The seed implementation collected candidates by ranging over the
+// per-thread maps and failed this test.
+func TestAdversarialCrashDeterministicAcrossRuns(t *testing.T) {
+	build := func() (*Device, mem.Addr) {
+		d := New()
+		a := d.Map(16 * 64)
+		// Four threads each store their own value to the SAME 16 lines and
+		// flush without fencing, so every line has four competing flushed
+		// snapshots. Two threads additionally hold WCB entries for the even
+		// lines.
+		for tid := ThreadID(0); tid < 4; tid++ {
+			for i := 0; i < 16; i++ {
+				addr := a + mem.Addr(i*64)
+				d.Store(tid, addr, []byte{byte(10*int(tid) + i + 1)})
+				d.Flush(tid, addr, 1)
+			}
+		}
+		for tid := ThreadID(0); tid < 2; tid++ {
+			for i := 0; i < 16; i += 2 {
+				addr := a + mem.Addr(i*64)
+				d.StoreNT(tid, addr, []byte{byte(100 + 10*int(tid) + i)})
+			}
+		}
+		return d, a
+	}
+	d, a := build()
+	d.Crash(Adversarial, 7)
+	want := d.Durable(a, 16*64)
+	for run := 1; run < 50; run++ {
+		d, a := build()
+		d.Crash(Adversarial, 7)
+		if got := d.Durable(a, 16*64); !bytes.Equal(got, want) {
+			t.Fatalf("run %d: durable image diverged from run 0\n got: %v\nwant: %v", run, got, want)
+		}
+	}
+}
+
 func TestIsDurable(t *testing.T) {
 	d := New()
 	a := d.Map(64)
@@ -209,7 +252,7 @@ func TestIsDurable(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	d := New()
-	a := d.Map(64)
+	a := d.Map(256)
 	d.Store(0, a, []byte{1, 2})
 	d.StoreNT(0, a+8, []byte{3})
 	d.Load(0, a, 2)
@@ -228,6 +271,35 @@ func TestStats(t *testing.T) {
 	d.ResetStats()
 	if d.Stats() != (Stats{}) {
 		t.Error("ResetStats did not zero counters")
+	}
+}
+
+// TestStatsCountPerLine pins the per-line accounting contract: a store,
+// NT store or load spanning n cache lines counts n operations, exactly as
+// a flush of n lines counts n CLWBs and as the paper counts PM accesses.
+// (The seed counted stores and loads once per call, so a 3-line
+// Store+Flush reported 1 store but 3 flushes.)
+func TestStatsCountPerLine(t *testing.T) {
+	d := New()
+	a := d.Map(512)
+	d.Store(0, a, make([]byte, 3*mem.LineSize)) // exactly 3 lines
+	d.Store(0, a+60, make([]byte, 8))           // straddles 2 lines
+	d.Flush(0, a, 3*mem.LineSize)
+	d.Fence(0)
+	d.StoreNT(0, a+256, make([]byte, 2*mem.LineSize))
+	d.Load(0, a, 2*mem.LineSize)
+	s := d.Stats()
+	if s.Stores != 5 {
+		t.Errorf("Stores = %d, want 5 (3-line store + 2-line store)", s.Stores)
+	}
+	if s.Flushes != 3 {
+		t.Errorf("Flushes = %d, want 3", s.Flushes)
+	}
+	if s.NTStores != 2 {
+		t.Errorf("NTStores = %d, want 2", s.NTStores)
+	}
+	if s.Loads != 2 {
+		t.Errorf("Loads = %d, want 2", s.Loads)
 	}
 }
 

@@ -24,6 +24,11 @@ import (
 const (
 	magic   = "WSPR"
 	version = 1
+
+	// maxPreallocEvents bounds the event-slice capacity trusted from the
+	// on-disk count before any event has actually been decoded (64 Ki
+	// events ≈ 1.5 MiB).
+	maxPreallocEvents = 1 << 16
 )
 
 // Encode writes t to w in the binary trace format.
@@ -95,7 +100,15 @@ func Decode(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Events = make([]Event, 0, count)
+	// The count is attacker-controlled input: a corrupt or truncated file
+	// can claim 2^60 events and the first event read would only fail after
+	// a multi-GiB allocation. Cap the pre-allocation and let append grow
+	// the slice; honest traces larger than the cap pay a few reallocations.
+	prealloc := count
+	if prealloc > maxPreallocEvents {
+		prealloc = maxPreallocEvents
+	}
+	t.Events = make([]Event, 0, prealloc)
 	var prevTime, prevAddr uint64
 	for i := uint64(0); i < count; i++ {
 		kind, err := br.ReadByte()

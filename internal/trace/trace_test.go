@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -85,6 +86,81 @@ func TestDecodeRejectsTruncatedEvents(t *testing.T) {
 	raw := buf.Bytes()
 	if _, err := Decode(bytes.NewReader(raw[:len(raw)-3])); err == nil {
 		t.Error("Decode accepted truncated event stream")
+	}
+}
+
+// TestDecodeAbsurdCountDoesNotPreallocate feeds a syntactically valid
+// header whose event count claims 2^60 events. The seed trusted that
+// uvarint and pre-allocated the whole slice, so a 30-byte file could
+// trigger a multi-exabyte allocation request before the first event read
+// failed. Decode must instead fail on the missing events with bounded
+// memory use.
+func TestDecodeAbsurdCountDoesNotPreallocate(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Trace{App: "x", Layer: "native", Threads: 1}
+	if err := Encode(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	// The encoding of an empty trace ends with the count uvarint (0x00).
+	// Replace it with a huge count and no event bytes.
+	raw := buf.Bytes()
+	if raw[len(raw)-1] != 0 {
+		t.Fatalf("expected trailing zero count, got %#x", raw[len(raw)-1])
+	}
+	raw = raw[:len(raw)-1]
+	var cnt [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(cnt[:], 1<<60)
+	raw = append(raw, cnt[:n]...)
+
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("Decode accepted a 2^60-event trace with no event bytes")
+	}
+}
+
+// TestDecodeLargeHonestTrace checks that capping the pre-allocation did
+// not cap the trace itself: more events than maxPreallocEvents must still
+// round-trip.
+func TestDecodeLargeHonestTrace(t *testing.T) {
+	orig := &Trace{App: "big", Layer: "native", Threads: 1}
+	for i := 0; i < maxPreallocEvents+100; i++ {
+		orig.Append(Event{Time: mem.Time(i), Addr: mem.PMBase + mem.Addr(i*8), Size: 8, Kind: KStore})
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Fatalf("decoded %d events, want %d", len(got.Events), len(orig.Events))
+	}
+	if !reflect.DeepEqual(orig.Events[maxPreallocEvents], got.Events[maxPreallocEvents]) {
+		t.Fatal("event beyond the prealloc cap corrupted")
+	}
+}
+
+// TestCodecRoundTripAdversarialFields round-trips events whose fields sit
+// at the encoding's edges: negative thread IDs, time and address deltas
+// that run backwards, and maximum sizes. Delta encoding must reproduce
+// them all exactly.
+func TestCodecRoundTripAdversarialFields(t *testing.T) {
+	orig := &Trace{App: "adv", Layer: "native", Threads: 2}
+	orig.Append(Event{Time: 1 << 50, Addr: mem.Addr(1<<63 + 7), Size: 1<<32 - 1, TID: -1, Kind: KStore})
+	orig.Append(Event{Time: 0, Addr: 0, Size: 0, TID: -2147483648, Kind: KLoad})   // both deltas go backwards
+	orig.Append(Event{Time: 1<<64 - 1, Addr: 1<<64 - 1, Size: 1, TID: 2147483647}) // max deltas forward
+	orig.Append(Event{Time: 5, Addr: 3, Size: 1<<32 - 1, TID: 0, Kind: KUserData})
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("adversarial round trip mismatch:\norig %+v\ngot  %+v", orig, got)
 	}
 }
 

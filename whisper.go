@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"github.com/whisper-pm/whisper/internal/apps/ctree"
 	"github.com/whisper-pm/whisper/internal/apps/echo"
@@ -244,16 +245,66 @@ func Run(name string, cfg Config) (*Report, error) {
 	return analyze(&Trace{tr: rt.Trace}), nil
 }
 
-// RunAll executes every benchmark with cfg and returns reports in suite
-// order.
+// RunAll executes every benchmark with cfg serially and returns reports in
+// suite order.
 func RunAll(cfg Config) ([]*Report, error) {
-	var out []*Report
-	for _, b := range suite {
-		r, err := Run(b.Name, cfg)
+	return RunAllParallel(cfg, 1)
+}
+
+// RunAllParallel executes the suite with up to workers benchmarks running
+// concurrently and returns reports in suite order. Every run owns its own
+// device, clock, trace and scheduler, and all randomness derives from
+// cfg.Seed, so the reports (and their traces) are bit-identical to serial
+// execution regardless of worker count or completion order. workers <= 1
+// runs serially; workers above the suite size are clamped.
+func RunAllParallel(cfg Config, workers int) ([]*Report, error) {
+	if workers > len(suite) {
+		workers = len(suite)
+	}
+	if workers <= 1 {
+		out := make([]*Report, 0, len(suite))
+		for _, b := range suite {
+			r, err := Run(b.Name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+
+	out := make([]*Report, len(suite))
+	errs := make([]error, len(suite))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// A panicking benchmark must not take down the whole
+				// process when running as a pool worker; surface it as
+				// this slot's error instead.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("whisper: %s panicked: %v", suite[i].Name, r)
+						}
+					}()
+					out[i], errs[i] = Run(suite[i].Name, cfg)
+				}()
+			}
+		}()
+	}
+	for i := range suite {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }

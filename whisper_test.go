@@ -126,6 +126,44 @@ func TestSortedCopy(t *testing.T) {
 	}
 }
 
+// TestParallelSuiteMatchesSerial asserts the parallel runner's contract:
+// for a fixed seed, running the suite with a worker pool produces reports
+// and raw traces byte-identical to serial execution — scheduling the runs
+// concurrently must not perturb any simulated outcome.
+func TestParallelSuiteMatchesSerial(t *testing.T) {
+	cfg := Config{Ops: 10, Seed: 13}
+	serial, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 64} {
+		par, err := RunAllParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if got, want := par[i].String(), serial[i].String(); got != want {
+				t.Errorf("workers=%d: %s report diverged:\n got: %s\nwant: %s",
+					workers, serial[i].App, got, want)
+			}
+			var sb, pb bytes.Buffer
+			if err := serial[i].Trace.Encode(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := par[i].Trace.Encode(&pb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+				t.Errorf("workers=%d: %s raw trace not byte-identical to serial",
+					workers, serial[i].App)
+			}
+		}
+	}
+}
+
 func TestEverySuiteMemberRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite sweep in long mode only")
