@@ -1,0 +1,127 @@
+package whisper
+
+import (
+	"time"
+
+	"github.com/whisper-pm/whisper/internal/crashcheck"
+)
+
+// CrashMode selects how a crash point is materialized by the checker.
+type CrashMode int
+
+const (
+	// CrashAllPersisted crashes at an operation boundary with strict
+	// device semantics: exactly the explicitly persisted state survives.
+	CrashAllPersisted CrashMode = CrashMode(crashcheck.AllPersisted)
+	// CrashMidEpoch crashes halfway through an operation's PM event
+	// stream with strict device semantics.
+	CrashMidEpoch CrashMode = CrashMode(crashcheck.MidEpoch)
+	// CrashAdversarialSubset crashes mid-operation and additionally lets
+	// the device keep or drop each unpersisted dirty line independently —
+	// the legal residual states of a real cache hierarchy.
+	CrashAdversarialSubset CrashMode = CrashMode(crashcheck.AdversarialSubset)
+)
+
+// String returns the mode's canonical name ("all-persisted", "mid-epoch",
+// "adversarial-subset").
+func (m CrashMode) String() string { return crashcheck.Mode(m).String() }
+
+// CrashModes returns all checker modes.
+func CrashModes() []CrashMode {
+	var out []CrashMode
+	for _, m := range crashcheck.Modes() {
+		out = append(out, CrashMode(m))
+	}
+	return out
+}
+
+// CrashCheckConfig scales a crash-consistency checking run. The zero value
+// picks defaults that keep a full ten-app matrix in the seconds range.
+type CrashCheckConfig struct {
+	Clients int         // client threads (default 2)
+	Ops     int         // scripted operations per run (default 16)
+	Seeds   []int64     // workload seeds (default 1..8)
+	Points  []int       // crash points in [0, Ops) (default 0, 1, Ops/2, Ops-1)
+	Modes   []CrashMode // crash modes (default all three)
+}
+
+func (c CrashCheckConfig) internal() crashcheck.Config {
+	cfg := crashcheck.Config{
+		Clients: c.Clients,
+		Ops:     c.Ops,
+		Seeds:   c.Seeds,
+		Points:  c.Points,
+	}
+	for _, m := range c.Modes {
+		cfg.Modes = append(cfg.Modes, crashcheck.Mode(m))
+	}
+	return cfg
+}
+
+// CrashViolation is one failed (seed, point, mode) cell: the recovered
+// image broke an application invariant or lost acknowledged work.
+type CrashViolation struct {
+	App   string
+	Mode  CrashMode
+	Seed  int64
+	Point int
+	Err   error
+}
+
+func (v CrashViolation) String() string {
+	return crashcheck.Violation{
+		App: v.App, Mode: crashcheck.Mode(v.Mode),
+		Seed: v.Seed, Point: v.Point, Err: v.Err,
+	}.String()
+}
+
+// CrashReport summarizes the crash matrix for one application.
+type CrashReport struct {
+	App        string
+	Cells      int // (seed, point, mode) cells executed
+	Violations []CrashViolation
+	Elapsed    time.Duration
+}
+
+// Ok reports whether every cell passed.
+func (r CrashReport) Ok() bool { return len(r.Violations) == 0 }
+
+func publicResult(res crashcheck.Result) CrashReport {
+	out := CrashReport{App: res.App, Cells: res.Cells, Elapsed: res.Elapsed}
+	for _, v := range res.Violations {
+		out.Violations = append(out.Violations, CrashViolation{
+			App: v.App, Mode: CrashMode(v.Mode), Seed: v.Seed, Point: v.Point, Err: v.Err,
+		})
+	}
+	return out
+}
+
+// CrashApps returns the names of the applications the checker can drive,
+// in suite order.
+func CrashApps() []string { return crashcheck.Apps() }
+
+// CrashCheck runs the systematic crash-injection matrix (seeds x crash
+// points x modes) for the named suite application: each cell runs the
+// scripted workload to its crash point on the simulated device, freezes
+// and crashes the durable image, reboots a fresh application instance via
+// its recovery path, and validates acknowledged-operation persistence,
+// in-flight-operation atomicity, and structural invariants against a
+// volatile oracle.
+func CrashCheck(app string, cfg CrashCheckConfig) (CrashReport, error) {
+	res, err := crashcheck.CheckApp(app, cfg.internal())
+	if err != nil {
+		return CrashReport{}, err
+	}
+	return publicResult(res), nil
+}
+
+// CrashCheckAll runs the crash matrix for every checkable application and
+// returns the reports in suite order.
+func CrashCheckAll(cfg CrashCheckConfig) ([]CrashReport, error) {
+	results, err := crashcheck.CheckAll(cfg.internal())
+	out := make([]CrashReport, 0, len(results))
+	for _, res := range results {
+		out = append(out, publicResult(res))
+	}
+	return out, err
+}

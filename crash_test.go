@@ -1,0 +1,38 @@
+package whisper
+
+import "testing"
+
+// TestCrashCheckPublicAPI smoke-tests the exported checker surface: a tiny
+// matrix over one fast app must run the advertised number of cells with no
+// violations, and the app listing must cover the whole suite.
+func TestCrashCheckPublicAPI(t *testing.T) {
+	apps := CrashApps()
+	if len(apps) != 10 {
+		t.Fatalf("CrashApps: got %d apps (%v), want 10", len(apps), apps)
+	}
+	if len(CrashModes()) != 3 {
+		t.Fatalf("CrashModes: got %v, want 3 modes", CrashModes())
+	}
+
+	cfg := CrashCheckConfig{
+		Clients: 1,
+		Ops:     6,
+		Seeds:   []int64{1},
+		Points:  []int{0, 3},
+		Modes:   []CrashMode{CrashAllPersisted, CrashAdversarialSubset},
+	}
+	rep, err := CrashCheck("hashmap", cfg)
+	if err != nil {
+		t.Fatalf("CrashCheck: %v", err)
+	}
+	if rep.App != "hashmap" || rep.Cells != 4 {
+		t.Errorf("report = %q/%d cells, want hashmap/4", rep.App, rep.Cells)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+
+	if _, err := CrashCheck("no-such-app", cfg); err == nil {
+		t.Errorf("CrashCheck accepted an unknown app name")
+	}
+}

@@ -8,6 +8,7 @@ package ctree
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 
 	"github.com/whisper-pm/whisper/internal/mem"
@@ -253,6 +254,57 @@ func (t *Tree) countFrom(th *persist.Thread, p uint64) int {
 	node := mem.Addr(p)
 	return t.countFrom(th, th.LoadU64(node+nChild0)) +
 		t.countFrom(th, th.LoadU64(node+nChild1))
+}
+
+// Recover reopens the tree after a crash: the pool's undo logs are applied
+// (rolling back any in-flight transaction), the root pointer is reread from
+// the pool root table, and the volatile count is rebuilt from the leaves.
+func (t *Tree) Recover() {
+	th := t.rt.Thread(0)
+	t.pool.Recover(th)
+	t.rootPtr = t.pool.Root(th, rootSlot)
+	t.CountPersistent(0)
+}
+
+// CheckInvariants verifies the crit-bit structural invariants over the
+// persistent image: bit indices strictly decrease from parent to child,
+// no child pointer is nil below the root, every leaf's key matches the
+// bit pattern of the path taken to reach it, and the tree is acyclic
+// (depth-bounded by the 64-bit key width).
+func (t *Tree) CheckInvariants(tid int) error {
+	th := t.rt.Thread(tid)
+	root := th.LoadU64(t.rootPtr)
+	if root == 0 {
+		return nil
+	}
+	return t.checkNode(th, root, 64, 0, 0)
+}
+
+// checkNode validates the subtree at p. Every leaf key k under p must
+// satisfy k&mask == want (the bits fixed by the path so far), and every
+// internal bit index must be < parentBit.
+func (t *Tree) checkNode(th *persist.Thread, p uint64, parentBit uint, mask, want uint64) error {
+	if isLeaf(p) {
+		key := th.LoadU64(leafAddr(p) + lKey)
+		if key&mask != want {
+			return fmt.Errorf("ctree: leaf key %#x violates path prefix (mask %#x want %#x)", key, mask, want)
+		}
+		return nil
+	}
+	node := mem.Addr(p)
+	bit := uint(th.LoadU64(node + nBit))
+	if bit >= parentBit {
+		return fmt.Errorf("ctree: node bit %d not below parent bit %d", bit, parentBit)
+	}
+	c0 := th.LoadU64(node + nChild0)
+	c1 := th.LoadU64(node + nChild1)
+	if c0 == 0 || c1 == 0 {
+		return fmt.Errorf("ctree: internal node with nil child (bit %d)", bit)
+	}
+	if err := t.checkNode(th, c0, bit, mask|1<<bit, want); err != nil {
+		return err
+	}
+	return t.checkNode(th, c1, bit, mask|1<<bit, want|1<<bit)
 }
 
 // RunWorkload executes the paper's configuration: `clients` threads each

@@ -20,6 +20,7 @@ package echo
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 
 	"github.com/whisper-pm/whisper/internal/alloc"
@@ -118,6 +119,11 @@ func New(rt *persist.Runtime, cfg Config) *Store {
 	}
 	return s
 }
+
+// HashKey exposes the store's key hash. SubmitBatch applies a batch in
+// ascending hash order, so an external oracle needs the hash to know which
+// update prefixes are legal crash states.
+func HashKey(key string) uint64 { return hashKey(key) }
 
 func hashKey(key string) uint64 {
 	// FNV-1a.
@@ -292,12 +298,70 @@ func (s *Store) Recover() {
 			if _, dup := s.index[h]; !dup {
 				s.index[h] = e
 			}
+			// Restore the version clock past every surviving timestamp so
+			// post-recovery updates stay newest-first.
+			if ver := mem.Addr(th.LoadU64(e + eVer)); ver != 0 {
+				if ts := th.LoadU64(ver + vTime); ts > s.clock {
+					s.clock = ts
+				}
+			}
 			e = mem.Addr(th.LoadU64(e + eNext))
 		}
 	}
 	for i := range s.local {
 		s.local[i] = make(map[uint64]uint64)
 	}
+}
+
+// CheckInvariants verifies the master KVS structure over the persistent
+// image: bucket chains are acyclic, every entry hangs off the bucket its
+// hash selects, no hash appears twice in a chain, version chains are
+// acyclic and timestamps decrease newest-first, and every batch descriptor
+// holds a legal status word.
+func (s *Store) CheckInvariants() error {
+	th := s.rt.Thread(0)
+	for b := 0; b < s.cfg.Buckets; b++ {
+		seenE := make(map[mem.Addr]bool)
+		hashes := make(map[uint64]bool)
+		e := mem.Addr(th.LoadU64(s.buckets + mem.Addr(b*8)))
+		for e != 0 {
+			if seenE[e] {
+				return fmt.Errorf("echo: cycle in bucket %d at %v", b, e)
+			}
+			seenE[e] = true
+			h := th.LoadU64(e + eHash)
+			if int(h%uint64(s.cfg.Buckets)) != b {
+				return fmt.Errorf("echo: hash %#x in bucket %d, belongs in %d", h, b, int(h%uint64(s.cfg.Buckets)))
+			}
+			if hashes[h] {
+				return fmt.Errorf("echo: duplicate hash %#x in bucket %d", h, b)
+			}
+			hashes[h] = true
+			seenV := make(map[mem.Addr]bool)
+			prevTime := uint64(1<<63 - 1)
+			ver := mem.Addr(th.LoadU64(e + eVer))
+			for ver != 0 {
+				if seenV[ver] {
+					return fmt.Errorf("echo: version cycle for hash %#x at %v", h, ver)
+				}
+				seenV[ver] = true
+				ts := th.LoadU64(ver + vTime)
+				if ts > prevTime {
+					return fmt.Errorf("echo: version timestamps not newest-first for hash %#x", h)
+				}
+				prevTime = ts
+				ver = mem.Addr(th.LoadU64(ver + vPrev))
+			}
+			e = mem.Addr(th.LoadU64(e + eNext))
+		}
+	}
+	for tid, desc := range s.desc {
+		st := th.LoadU64(desc)
+		if st != 0 && st != stInProgress && st != stCreated {
+			return fmt.Errorf("echo: client %d descriptor holds illegal status %d", tid, st)
+		}
+	}
+	return nil
 }
 
 // Versions returns the number of versions stored for key (newest first

@@ -1,0 +1,451 @@
+package fsapps
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmfs"
+)
+
+// This file gives the three filesystem-tier apps the Recover/oracle surface
+// the crash-consistency checker (internal/crashcheck) needs. The legacy
+// applications are unmodified — persistence happens inside PMFS — so the
+// recovery unit is the filesystem image and the oracle is a volatile model
+// of the namespace and file contents.
+//
+// PMFS semantics drive what the oracle may demand of an interrupted call:
+// metadata is journaled and therefore atomic, but user data is written with
+// non-temporal stores and NOT journaled. A call that was in flight at the
+// crash may land in its before or after state, and for an overwrite whose
+// size does not change, bytes inside the written range may tear — each byte
+// independently old or new. Everything outside the in-flight call must
+// match the model exactly, and pmfs.Fsck must always pass.
+
+// fsCall kinds.
+const (
+	fcCreate = iota
+	fcWrite  // WriteAt(path, off, data)
+	fcAppend // Append at the model's current size
+	fcRead   // ReadAt full file, checked against the model inline
+	fcStat
+	fcUnlink
+	fcFsync
+)
+
+// fsCall is one filesystem system call of a scripted operation.
+type fsCall struct {
+	kind int
+	path string
+	off  int
+	data []byte
+}
+
+// fsPending describes the call in flight when a crash hits: the acceptable
+// recovered states of its path. before/after are file contents; the Ok
+// flags distinguish empty files from absent ones. [lo, hi) is the byte
+// range a torn data write may leave half-old/half-new.
+type fsPending struct {
+	path     string
+	before   []byte
+	beforeOk bool
+	after    []byte
+	afterOk  bool
+	lo, hi   int
+}
+
+// fsOracle executes filesystem calls while maintaining the volatile model.
+type fsOracle struct {
+	rt      *persist.Runtime
+	fs      *pmfs.FS
+	files   map[string][]byte
+	dirs    map[string]bool
+	touched map[string]bool // every file path ever used (absence universe)
+	pending *fsPending
+	err     error // first model/filesystem disagreement during execution
+}
+
+func newFSOracle(rt *persist.Runtime, fs *pmfs.FS) *fsOracle {
+	return &fsOracle{
+		rt: rt, fs: fs,
+		files:   make(map[string][]byte),
+		dirs:    make(map[string]bool),
+		touched: make(map[string]bool),
+	}
+}
+
+func (o *fsOracle) fail(format string, args ...any) {
+	if o.err == nil {
+		o.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (o *fsOracle) mkdir(th *persist.Thread, path string) {
+	if err := o.fs.Mkdir(th, path); err != nil {
+		o.fail("fsoracle: mkdir %s: %v", path, err)
+		return
+	}
+	o.dirs[path] = true
+}
+
+// do executes one scripted call with pending-state bookkeeping: pending is
+// set just before the call and cleared just after, so if a crash interrupts
+// the call the oracle knows exactly which path may be in either state.
+func (o *fsOracle) do(th *persist.Thread, c fsCall) {
+	cur, ok := o.files[c.path]
+	o.touched[c.path] = true
+	switch c.kind {
+	case fcCreate:
+		o.pending = &fsPending{path: c.path, before: cur, beforeOk: ok, after: []byte{}, afterOk: true}
+		err := o.fs.Create(th, c.path)
+		if ok {
+			if !errors.Is(err, pmfs.ErrExists) {
+				o.fail("fsoracle: create existing %s: got %v, want ErrExists", c.path, err)
+			}
+		} else if err != nil {
+			o.fail("fsoracle: create %s: %v", c.path, err)
+		} else {
+			o.files[c.path] = []byte{}
+		}
+	case fcWrite, fcAppend:
+		off := c.off
+		if c.kind == fcAppend {
+			off = len(cur)
+		}
+		var after []byte
+		if ok {
+			after = append([]byte(nil), cur...)
+			for len(after) < off+len(c.data) {
+				after = append(after, 0)
+			}
+			copy(after[off:], c.data)
+		}
+		o.pending = &fsPending{
+			path: c.path, before: cur, beforeOk: ok, after: after, afterOk: ok,
+			lo: off, hi: off + len(c.data),
+		}
+		err := o.fs.WriteAt(th, c.path, int64(off), c.data)
+		if !ok {
+			if !errors.Is(err, pmfs.ErrNotFound) {
+				o.fail("fsoracle: write missing %s: got %v, want ErrNotFound", c.path, err)
+			}
+		} else if err != nil {
+			o.fail("fsoracle: write %s: %v", c.path, err)
+		} else {
+			o.files[c.path] = after
+		}
+	case fcUnlink:
+		o.pending = &fsPending{path: c.path, before: cur, beforeOk: ok}
+		err := o.fs.Unlink(th, c.path)
+		if !ok {
+			if !errors.Is(err, pmfs.ErrNotFound) {
+				o.fail("fsoracle: unlink missing %s: got %v, want ErrNotFound", c.path, err)
+			}
+		} else if err != nil {
+			o.fail("fsoracle: unlink %s: %v", c.path, err)
+		} else {
+			delete(o.files, c.path)
+		}
+	case fcRead:
+		got, err := o.fs.ReadAt(th, c.path, 0, len(cur))
+		if !ok {
+			if !errors.Is(err, pmfs.ErrNotFound) {
+				o.fail("fsoracle: read missing %s: got %v, want ErrNotFound", c.path, err)
+			}
+		} else if err != nil {
+			o.fail("fsoracle: read %s: %v", c.path, err)
+		} else if !bytes.Equal(got, cur) {
+			o.fail("fsoracle: read %s: content diverged from model", c.path)
+		}
+	case fcStat:
+		st, err := o.fs.Stat(th, c.path)
+		if !ok {
+			if !errors.Is(err, pmfs.ErrNotFound) {
+				o.fail("fsoracle: stat missing %s: got %v, want ErrNotFound", c.path, err)
+			}
+		} else if err != nil {
+			o.fail("fsoracle: stat %s: %v", c.path, err)
+		} else if st.Size != int64(len(cur)) {
+			o.fail("fsoracle: stat %s: size %d, model %d", c.path, st.Size, len(cur))
+		}
+	case fcFsync:
+		if err := o.fs.Fsync(th, c.path); ok && err != nil {
+			o.fail("fsoracle: fsync %s: %v", c.path, err)
+		}
+	}
+	o.pending = nil
+}
+
+// check validates the recovered filesystem against the model: structural
+// fsck, every directory present, every touched path in its modeled state —
+// or, for the one call in flight at the crash, in its before or after state
+// with byte-level tearing allowed only inside the written range.
+func (o *fsOracle) check() error {
+	if o.err != nil {
+		return o.err
+	}
+	th := o.rt.Thread(0)
+	if err := o.fs.Fsck(th); err != nil {
+		return err
+	}
+	for dir := range o.dirs {
+		st, err := o.fs.Stat(th, dir)
+		if err != nil || !st.IsDir {
+			return fmt.Errorf("fsoracle: directory %s missing after recovery (%v)", dir, err)
+		}
+	}
+	for path := range o.touched {
+		if o.pending != nil && o.pending.path == path {
+			if err := o.checkEither(th, o.pending); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := o.checkExact(th, path, o.files[path]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkExact requires path to match the model state exactly (acknowledged
+// operations must survive; absent paths must stay absent).
+func (o *fsOracle) checkExact(th *persist.Thread, path string, want []byte) error {
+	_, ok := o.files[path]
+	st, err := o.fs.Stat(th, path)
+	if !ok {
+		if !errors.Is(err, pmfs.ErrNotFound) {
+			return fmt.Errorf("fsoracle: %s should be absent, stat: %v", path, err)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fsoracle: acknowledged file %s lost: %v", path, err)
+	}
+	if st.Size != int64(len(want)) {
+		return fmt.Errorf("fsoracle: %s size %d, want %d", path, st.Size, len(want))
+	}
+	got, err := o.fs.ReadAt(th, path, 0, len(want))
+	if err != nil {
+		return fmt.Errorf("fsoracle: reading %s: %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("fsoracle: %s content corrupted", path)
+	}
+	return nil
+}
+
+// checkEither validates the path whose call was interrupted by the crash.
+func (o *fsOracle) checkEither(th *persist.Thread, p *fsPending) error {
+	st, err := o.fs.Stat(th, p.path)
+	if err != nil {
+		if !errors.Is(err, pmfs.ErrNotFound) {
+			return fmt.Errorf("fsoracle: stat in-flight %s: %v", p.path, err)
+		}
+		if p.beforeOk && p.afterOk {
+			return fmt.Errorf("fsoracle: %s existed before the in-flight call but vanished", p.path)
+		}
+		return nil // legally absent (create rolled back, or unlink committed)
+	}
+	size := int(st.Size)
+	if !(p.beforeOk && size == len(p.before)) && !(p.afterOk && size == len(p.after)) {
+		return fmt.Errorf("fsoracle: in-flight %s size %d matches neither before (%d) nor after (%d)",
+			p.path, size, len(p.before), len(p.after))
+	}
+	got, err := o.fs.ReadAt(th, p.path, 0, size)
+	if err != nil {
+		return fmt.Errorf("fsoracle: reading in-flight %s: %v", p.path, err)
+	}
+	for i := 0; i < size; i++ {
+		inRange := i >= p.lo && i < p.hi
+		okOld := p.beforeOk && i < len(p.before) && got[i] == p.before[i]
+		okNew := p.afterOk && i < len(p.after) && got[i] == p.after[i]
+		if inRange {
+			if !okOld && !okNew {
+				return fmt.Errorf("fsoracle: in-flight %s byte %d is neither old nor new", p.path, i)
+			}
+			continue
+		}
+		if !okOld && !okNew {
+			return fmt.Errorf("fsoracle: in-flight %s byte %d outside written range corrupted", p.path, i)
+		}
+	}
+	return nil
+}
+
+// CrashApp drives one of the three filesystem workloads (nfs, exim, mysql)
+// under the crash-consistency harness: a deterministic op script over a
+// fresh PMFS image, a Recover path, and the oracle check above. It
+// implements the crashcheck.App interface structurally.
+type CrashApp struct {
+	variant string
+	rt      *persist.Runtime
+	clients int
+	o       *fsOracle
+	ops     [][]fsCall
+}
+
+// NewCrashApp returns a crash-checkable instance of the named fs workload.
+func NewCrashApp(variant string) *CrashApp {
+	switch variant {
+	case "nfs", "exim", "mysql":
+		return &CrashApp{variant: variant}
+	}
+	panic("fsapps: unknown crash variant " + variant)
+}
+
+// Name returns the suite name of the underlying workload.
+func (a *CrashApp) Name() string { return a.variant }
+
+// Setup formats a filesystem, builds the variant's initial namespace, and
+// scripts `ops` operations from seed. Everything is deterministic in
+// (clients, ops, seed).
+func (a *CrashApp) Setup(rt *persist.Runtime, clients, ops int, seed int64) {
+	a.rt = rt
+	a.clients = clients
+	fs := pmfs.Format(rt, rt.Thread(0), pmfs.Options{Inodes: 512, Blocks: 2048})
+	a.o = newFSOracle(rt, fs)
+	rng := rand.New(rand.NewSource(seed))
+	th0 := rt.Thread(0)
+	switch a.variant {
+	case "nfs":
+		a.o.mkdir(th0, "/files")
+		a.ops = scriptNFS(rng, ops)
+	case "exim":
+		for _, dir := range []string{"/mail", "/spool", "/log"} {
+			a.o.mkdir(th0, dir)
+		}
+		a.o.do(th0, fsCall{kind: fcCreate, path: "/log/mainlog"})
+		const nmail = 12
+		for i := 0; i < nmail; i++ {
+			a.o.do(th0, fsCall{kind: fcCreate, path: fmt.Sprintf("/mail/user%03d", i)})
+		}
+		a.ops = scriptExim(rng, ops, nmail)
+	case "mysql":
+		a.o.mkdir(th0, "/db")
+		for _, f := range []string{"/db/table.ibd", "/db/redo.log", "/db/doublewrite"} {
+			a.o.do(th0, fsCall{kind: fcCreate, path: f})
+		}
+		const pages = 4
+		for p := 0; p < pages; p++ {
+			a.o.do(th0, fsCall{kind: fcWrite, path: "/db/table.ibd",
+				off: p * pmfs.BlockSize, data: randBytes(rng, pmfs.BlockSize)})
+		}
+		a.ops = scriptMySQL(rng, ops, pages)
+	}
+	if a.o.err != nil {
+		panic(a.o.err)
+	}
+}
+
+// Do executes scripted operation k on a client thread.
+func (a *CrashApp) Do(k int) {
+	th := a.rt.Thread(k % a.clients)
+	for _, c := range a.ops[k] {
+		a.o.do(th, c)
+	}
+}
+
+// Recover replays/aborts the PMFS journal and rebuilds volatile state.
+func (a *CrashApp) Recover() {
+	a.o.fs.Recover(a.rt.Thread(0))
+}
+
+// Check validates the recovered image against the oracle model.
+func (a *CrashApp) Check() error { return a.o.check() }
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// scriptNFS builds a fileserver-style op mix: creates, overwrites,
+// appends, reads, stats and deletes over a growing pool of files.
+func scriptNFS(rng *rand.Rand, n int) [][]fsCall {
+	var (
+		ops  [][]fsCall
+		live []string
+		ctr  int
+	)
+	for k := 0; k < n; k++ {
+		r := rng.Intn(100)
+		switch {
+		case len(live) == 0 || r < 30:
+			path := fmt.Sprintf("/files/f%03d", ctr)
+			ctr++
+			live = append(live, path)
+			ops = append(ops, []fsCall{
+				{kind: fcCreate, path: path},
+				{kind: fcWrite, path: path, data: randBytes(rng, 256+rng.Intn(2*pmfs.BlockSize))},
+			})
+		case r < 55:
+			path := live[rng.Intn(len(live))]
+			ops = append(ops, []fsCall{
+				{kind: fcWrite, path: path, off: rng.Intn(2048), data: randBytes(rng, 128+rng.Intn(pmfs.BlockSize))},
+			})
+		case r < 75:
+			path := live[rng.Intn(len(live))]
+			ops = append(ops, []fsCall{
+				{kind: fcAppend, path: path, data: randBytes(rng, 128+rng.Intn(1024))},
+			})
+		case r < 90:
+			path := live[rng.Intn(len(live))]
+			ops = append(ops, []fsCall{
+				{kind: fcRead, path: path},
+				{kind: fcStat, path: path},
+			})
+		default:
+			i := rng.Intn(len(live))
+			path := live[i]
+			live = append(live[:i], live[i+1:]...)
+			ops = append(ops, []fsCall{{kind: fcUnlink, path: path}})
+		}
+	}
+	return ops
+}
+
+// scriptExim builds postal-style deliveries: spool the message, append to
+// the mailbox and the log, unlink the spool file.
+func scriptExim(rng *rand.Rand, n, nmail int) [][]fsCall {
+	var ops [][]fsCall
+	for k := 0; k < n; k++ {
+		spool := fmt.Sprintf("/spool/msg%04d", k)
+		mailbox := fmt.Sprintf("/mail/user%03d", rng.Intn(nmail))
+		msg := randBytes(rng, 512+rng.Intn(2048))
+		ops = append(ops, []fsCall{
+			{kind: fcCreate, path: spool},
+			{kind: fcWrite, path: spool, data: msg},
+			{kind: fcAppend, path: mailbox, data: msg},
+			{kind: fcAppend, path: "/log/mainlog",
+				data: []byte(fmt.Sprintf("delivered %s %d bytes\n", mailbox, len(msg)))},
+			{kind: fcUnlink, path: spool},
+		})
+	}
+	return ops
+}
+
+// scriptMySQL builds sysbench-style transactions: page reads, and for
+// write transactions a redo append, doublewrite, in-place page write, and
+// fsync.
+func scriptMySQL(rng *rand.Rand, n, pages int) [][]fsCall {
+	var ops [][]fsCall
+	for k := 0; k < n; k++ {
+		row := rng.Intn(pages)
+		calls := []fsCall{{kind: fcRead, path: "/db/table.ibd"}}
+		if rng.Intn(100) < 60 {
+			page := randBytes(rng, pmfs.BlockSize)
+			calls = append(calls,
+				fsCall{kind: fcAppend, path: "/db/redo.log",
+					data: []byte(fmt.Sprintf("tx update row %d\n", row))},
+				fsCall{kind: fcWrite, path: "/db/doublewrite", data: page},
+				fsCall{kind: fcWrite, path: "/db/table.ibd", off: row * pmfs.BlockSize, data: page},
+				fsCall{kind: fcFsync, path: "/db/redo.log"},
+			)
+		}
+		ops = append(ops, calls)
+	}
+	return ops
+}

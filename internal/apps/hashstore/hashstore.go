@@ -7,6 +7,7 @@ package hashstore
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"github.com/whisper-pm/whisper/internal/mem"
 	"github.com/whisper-pm/whisper/internal/nvml"
@@ -140,6 +141,44 @@ func (m *Map) CountPersistent(tid int) int {
 	}
 	m.count = n
 	return n
+}
+
+// Recover reopens the map after a crash: the pool's undo logs are applied
+// (rolling back any in-flight transaction), the bucket array is reread from
+// the pool root table, and the volatile count is rebuilt from the chains.
+func (m *Map) Recover() {
+	th := m.rt.Thread(0)
+	m.pool.Recover(th)
+	m.buckets = m.pool.Root(th, rootSlot)
+	m.CountPersistent(0)
+}
+
+// CheckInvariants verifies the persistent structure: every chain is
+// acyclic, every entry hangs off the bucket its key hashes to, and no key
+// appears twice in a chain.
+func (m *Map) CheckInvariants(tid int) error {
+	th := m.rt.Thread(tid)
+	for b := uint64(0); b < m.nbucket; b++ {
+		seen := make(map[mem.Addr]bool)
+		keys := make(map[uint64]bool)
+		e := mem.Addr(th.LoadU64(m.buckets + mem.Addr(b*8)))
+		for e != 0 {
+			if seen[e] {
+				return fmt.Errorf("hashstore: cycle in bucket %d at %v", b, e)
+			}
+			seen[e] = true
+			key := th.LoadU64(e + eKey)
+			if key%m.nbucket != b {
+				return fmt.Errorf("hashstore: key %#x in bucket %d, belongs in %d", key, b, key%m.nbucket)
+			}
+			if keys[key] {
+				return fmt.Errorf("hashstore: duplicate key %#x in bucket %d", key, b)
+			}
+			keys[key] = true
+			e = mem.Addr(th.LoadU64(e + eNext))
+		}
+	}
+	return nil
 }
 
 // RunWorkload executes the paper's configuration: `clients` threads

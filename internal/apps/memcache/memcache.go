@@ -12,6 +12,7 @@ package memcache
 import (
 	"container/list"
 	"encoding/binary"
+	"fmt"
 
 	"github.com/whisper-pm/whisper/internal/mem"
 	"github.com/whisper-pm/whisper/internal/mnemosyne"
@@ -58,6 +59,69 @@ func New(rt *persist.Runtime, heap *mnemosyne.Heap, nbuckets, maxItems int) *Cac
 	})
 	heap.SetRoot(th, rootSlot, c.buckets)
 	return c
+}
+
+// Attach reopens a cache over an existing heap (after recovery): the bucket
+// array comes from the heap's root table and the volatile LRU is rebuilt
+// from the persistent chains. This is memcached's durable root — before it
+// existed, a crash at even a quiescent point lost the whole cache.
+func Attach(rt *persist.Runtime, heap *mnemosyne.Heap, nbuckets, maxItems int) *Cache {
+	c := &Cache{
+		rt: rt, heap: heap, nbucket: uint64(nbuckets), maxItems: maxItems,
+		lru: list.New(), byAddr: make(map[mem.Addr]*list.Element),
+	}
+	c.buckets = heap.Root(rt.Thread(0), rootSlot)
+	c.CountPersistent(0)
+	return c
+}
+
+// Recover brings the cache back after a crash: the heap replays its
+// committed redo logs and rebuilds the allocator, the bucket array is
+// reread from the root table, and the volatile LRU is rebuilt from the
+// chains (recency order is cache policy and is legitimately lost).
+func (c *Cache) Recover() {
+	th := c.rt.Thread(0)
+	c.heap.Recover(th, true)
+	c.buckets = c.heap.Root(th, rootSlot)
+	c.CountPersistent(0)
+}
+
+// CheckInvariants verifies the persistent table structure: chains are
+// acyclic, every item's stored hash matches its key bytes and selects the
+// bucket it hangs off, lengths fit the allocation, and no key appears twice
+// in a chain.
+func (c *Cache) CheckInvariants(tid int) error {
+	th := c.rt.Thread(tid)
+	for b := uint64(0); b < c.nbucket; b++ {
+		seen := make(map[mem.Addr]bool)
+		keys := make(map[string]bool)
+		item := mem.Addr(th.LoadU64(c.buckets + mem.Addr(b*8)))
+		for item != 0 {
+			if seen[item] {
+				return fmt.Errorf("memcache: cycle in bucket %d at %v", b, item)
+			}
+			seen[item] = true
+			h := th.LoadU64(item + iHash)
+			lens := th.LoadU64(item + iLens)
+			kl, vl := int(lens&0xffffffff), int(lens>>32)
+			if kl+vl > maxKV {
+				return fmt.Errorf("memcache: item %v lens %d+%d exceed allocation", item, kl, vl)
+			}
+			key := string(th.Load(item+iData, kl))
+			if fnv(key) != h {
+				return fmt.Errorf("memcache: item %v stored hash %#x != fnv(%q)", item, h, key)
+			}
+			if h%c.nbucket != b {
+				return fmt.Errorf("memcache: key %q in bucket %d, belongs in %d", key, b, h%c.nbucket)
+			}
+			if keys[key] {
+				return fmt.Errorf("memcache: duplicate key %q in bucket %d", key, b)
+			}
+			keys[key] = true
+			item = mem.Addr(th.LoadU64(item + iNext))
+		}
+	}
+	return nil
 }
 
 func fnv(s string) uint64 {

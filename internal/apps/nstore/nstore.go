@@ -18,6 +18,7 @@ package nstore
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"github.com/whisper-pm/whisper/internal/alloc"
 	"github.com/whisper-pm/whisper/internal/mem"
@@ -37,16 +38,43 @@ const (
 )
 
 // Undo log geometry (per partition): descriptor {status, count} plus
-// fixed 96-byte records {addr u64, len u64, old data up to 80}.
+// fixed 96-byte records {addr u64, len|gen u64, checksum u64, old data up
+// to 72}. Records straddle cache lines (96 > 64), so a crash between a
+// record's stores and its fence can leave the header durable while the old
+// image is torn — the checksum lets recovery reject such records instead
+// of restoring garbage. A rejected record is always the newest (records
+// are fenced in order) and its protected in-place write never executed, so
+// skipping it is safe.
 const (
 	walIdle      = uint64(0)
 	walActive    = uint64(1)
 	walCommitted = uint64(2)
 
 	walEntrySize = 96
-	walMaxData   = 80
+	walHeader    = 24
+	walMaxData   = walEntrySize - walHeader
 	walEntries   = 1024
 )
+
+// walSum is the FNV-style record checksum over the header words and the
+// old image; recovery recomputes it to detect torn records.
+func walSum(addr, lengen uint64, data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(addr)
+	mix(lengen)
+	for i := 0; i < len(data); i += 8 {
+		var v uint64
+		for j := i; j < i+8 && j < len(data); j++ {
+			v |= uint64(data[j]) << (8 * (j - i))
+		}
+		mix(v)
+	}
+	return h
+}
 
 // Config sizes a DB.
 type Config struct {
@@ -113,6 +141,15 @@ type Tx struct {
 	start int // first WAL slot of this transaction
 	n     int // undo entries
 	dirty []dirtyRange
+	// indexUndo records volatile-index mutations so Abort can roll the
+	// in-DRAM index back in step with the persistent chains it mirrors.
+	indexUndo []indexUndo
+}
+
+type indexUndo struct {
+	key  uint64
+	prev mem.Addr
+	had  bool
 }
 
 type dirtyRange struct {
@@ -152,12 +189,14 @@ func (tx *Tx) undo(a mem.Addr, size int) {
 		// so a durable record implies all earlier records are durable.
 		e := tx.p.slotAddr(tx.start + tx.n)
 		old := tx.th.Load(a, n)
-		var hdr [16]byte
+		lengen := uint64(n) | tx.p.walGen<<32
+		var hdr [walHeader]byte
 		binary.LittleEndian.PutUint64(hdr[0:], uint64(a))
-		binary.LittleEndian.PutUint64(hdr[8:], uint64(n)|tx.p.walGen<<32)
+		binary.LittleEndian.PutUint64(hdr[8:], lengen)
+		binary.LittleEndian.PutUint64(hdr[16:], walSum(uint64(a), lengen, old))
 		tx.th.Store(e, hdr[:])
-		tx.th.Store(e+16, old)
-		tx.th.Flush(e, 16+n)
+		tx.th.Store(e+walHeader, old)
+		tx.th.Flush(e, walHeader+n)
 		tx.th.Fence()
 		tx.n++
 		a += mem.Addr(n)
@@ -213,6 +252,8 @@ func (tx *Tx) Insert(key uint64, attrs [nAttrs]uint64, varchar string) {
 	// reserved chain slot.
 	tx.undoFresh(t+tSize-8, head)
 
+	prev, had := p.index[key]
+	tx.indexUndo = append(tx.indexUndo, indexUndo{key: key, prev: prev, had: had})
 	p.index[key] = t
 	th.VStore(0, 2)
 }
@@ -284,10 +325,21 @@ func (tx *Tx) Abort() {
 		e := tx.p.slotAddr(tx.start + i)
 		a := mem.Addr(th.LoadU64(e))
 		size := int(th.LoadU64(e+8) & 0xffffffff)
-		old := th.Load(e+16, size)
+		old := th.Load(e+walHeader, size)
 		th.Store(a, old)
 		th.Flush(a, size)
 		th.Fence()
+	}
+	// Roll the volatile index back in step with the persistent chains:
+	// without this an aborted Insert leaves a dangling index entry for a
+	// tuple the chain rollback just unlinked.
+	for i := len(tx.indexUndo) - 1; i >= 0; i-- {
+		u := tx.indexUndo[i]
+		if u.had {
+			tx.p.index[u.key] = u.prev
+		} else {
+			delete(tx.p.index, u.key)
+		}
 	}
 	tx.clearLog()
 	th.TxEnd()
@@ -319,12 +371,18 @@ func (db *DB) Recover() {
 		p.walNext = start
 		if status == walActive {
 			// Find the valid run of this generation's records, then undo
-			// newest-first.
+			// newest-first. A record with a bad checksum is torn (its fence
+			// never completed); it is necessarily the newest record and the
+			// write it protects never happened, so the run ends there.
 			n := 0
 			for n < walEntries {
 				e := p.slotAddr(start + n)
+				addr := th.LoadU64(e)
 				raw := th.LoadU64(e + 8)
-				if mem.Addr(th.LoadU64(e)) == 0 || raw>>32 != gen&0xffffffff {
+				size := raw & 0xffffffff
+				if addr == 0 || raw>>32 != gen&0xffffffff ||
+					size == 0 || size > walMaxData ||
+					th.LoadU64(e+16) != walSum(addr, raw, th.Load(e+walHeader, int(size))) {
 					break
 				}
 				n++
@@ -333,10 +391,7 @@ func (db *DB) Recover() {
 				e := p.slotAddr(start + i)
 				a := mem.Addr(th.LoadU64(e))
 				size := int(th.LoadU64(e+8) & 0xffffffff)
-				if a == 0 || size == 0 || size > walMaxData {
-					continue
-				}
-				old := th.Load(e+16, size)
+				old := th.Load(e+walHeader, size)
 				th.Store(a, old)
 				th.Flush(a, size)
 				th.Fence()
@@ -371,6 +426,58 @@ func (db *DB) Recover() {
 
 // Partition returns partition i's tuple count (volatile index size).
 func (db *DB) Partition(i int) int { return len(db.parts[i].index) }
+
+// Get reads attribute idx of the tuple with key on tid's partition without
+// opening a transaction — the read path recovery oracles use, so checking
+// state does not itself create WAL traffic.
+func (db *DB) Get(tid int, key uint64, idx int) (uint64, bool) {
+	p := db.parts[tid%len(db.parts)]
+	t, ok := p.index[key]
+	if !ok {
+		return 0, false
+	}
+	return db.rt.Thread(tid).LoadU64(t + tAttrs + mem.Addr(idx*8)), true
+}
+
+// CheckInvariants verifies every partition's persistent structure: bucket
+// chains are acyclic, each tuple hangs off the bucket its key hashes to,
+// and the volatile index is exactly what a fresh chain walk would rebuild.
+func (db *DB) CheckInvariants() error {
+	th := db.rt.Thread(0)
+	for pi, p := range db.parts {
+		rebuilt := make(map[uint64]mem.Addr)
+		for b := 0; b < db.cfg.Buckets; b++ {
+			seen := make(map[mem.Addr]bool)
+			t := mem.Addr(th.LoadU64(p.buckets + mem.Addr(b*8)))
+			for t != 0 {
+				if seen[t] {
+					return fmt.Errorf("nstore: partition %d bucket %d chain cycle at %v", pi, b, t)
+				}
+				seen[t] = true
+				key := th.LoadU64(t + tKey)
+				if int(key%uint64(db.cfg.Buckets)) != b {
+					return fmt.Errorf("nstore: partition %d key %d in bucket %d, belongs in %d",
+						pi, key, b, key%uint64(db.cfg.Buckets))
+				}
+				if _, dup := rebuilt[key]; !dup {
+					rebuilt[key] = t
+				}
+				t = mem.Addr(th.LoadU64(t + tSize - 8))
+			}
+		}
+		if len(rebuilt) != len(p.index) {
+			return fmt.Errorf("nstore: partition %d index has %d keys, chains have %d",
+				pi, len(p.index), len(rebuilt))
+		}
+		for key, t := range p.index {
+			if rebuilt[key] != t {
+				return fmt.Errorf("nstore: partition %d index[%d]=%v but chain walk finds %v",
+					pi, key, t, rebuilt[key])
+			}
+		}
+	}
+	return nil
+}
 
 // RunYCSB executes the YCSB-like profile (§4, Table 1: 4 clients, 80%
 // writes): each transaction performs opsPerTx operations on the client's
@@ -476,3 +583,4 @@ func hashString(s string) uint64 {
 	}
 	return h
 }
+

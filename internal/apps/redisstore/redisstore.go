@@ -9,6 +9,7 @@ package redisstore
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"github.com/whisper-pm/whisper/internal/mem"
 	"github.com/whisper-pm/whisper/internal/nvml"
@@ -183,6 +184,54 @@ func (s *Store) CountPersistent() int {
 	}
 	s.count = n
 	return n
+}
+
+// Recover reopens the store after a crash: the pool's undo logs are applied
+// (rolling back any in-flight command), the bucket array is reread from the
+// pool root table, and the volatile count is rebuilt from the chains.
+func (s *Store) Recover() {
+	th := s.rt.Thread(s.serverTID)
+	s.pool.Recover(th)
+	s.buckets = s.pool.Root(th, rootSlot)
+	s.CountPersistent()
+}
+
+// CheckInvariants verifies the persistent dictionary structure: chains are
+// acyclic, every entry's stored hash matches its key bytes and selects the
+// bucket the entry hangs off, lengths are within the allocation, and no key
+// appears twice in a chain.
+func (s *Store) CheckInvariants() error {
+	th := s.rt.Thread(s.serverTID)
+	for b := uint64(0); b < s.nbucket; b++ {
+		seen := make(map[mem.Addr]bool)
+		keys := make(map[string]bool)
+		e := mem.Addr(th.LoadU64(s.buckets + mem.Addr(b*8)))
+		for e != 0 {
+			if seen[e] {
+				return fmt.Errorf("redisstore: cycle in bucket %d at %v", b, e)
+			}
+			seen[e] = true
+			h := th.LoadU64(e + eHash)
+			lens := th.LoadU64(e + eLens)
+			kl, vl := int(lens&0xffffffff), int(lens>>32)
+			if kl+vl > maxKV {
+				return fmt.Errorf("redisstore: entry %v lens %d+%d exceed allocation", e, kl, vl)
+			}
+			key := string(th.Load(e+eData, kl))
+			if fnv(key) != h {
+				return fmt.Errorf("redisstore: entry %v stored hash %#x != fnv(%q)", e, h, key)
+			}
+			if h%s.nbucket != b {
+				return fmt.Errorf("redisstore: key %q in bucket %d, belongs in %d", key, b, h%s.nbucket)
+			}
+			if keys[key] {
+				return fmt.Errorf("redisstore: duplicate key %q in bucket %d", key, b)
+			}
+			keys[key] = true
+			e = mem.Addr(th.LoadU64(e + eNext))
+		}
+	}
+	return nil
 }
 
 // RunWorkload executes the lru-test profile over `keys` keys with `ops`

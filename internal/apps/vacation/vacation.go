@@ -41,6 +41,19 @@ const (
 	rvSize  = 24
 )
 
+// Persistent root directory: the addresses of the four tree root words and
+// the counter array, published in the heap's root table so a reopened
+// process can find every structure. Before this directory existed, the
+// manager's layout lived only in volatile Go fields and a crash at even a
+// quiescent point lost the store.
+const (
+	dirTables    = 0 // numTables root-word addresses
+	dirCustomers = numTables * 8
+	dirCounters  = dirCustomers + 8
+	dirSize      = dirCounters + 8
+	rootSlot     = 4
+)
+
 // Manager is the travel-reservation system.
 type Manager struct {
 	rt   *persist.Runtime
@@ -59,14 +72,24 @@ type Manager struct {
 func NewManager(rt *persist.Runtime, heap *mnemosyne.Heap, relations int, capacity uint64) *Manager {
 	m := &Manager{rt: rt, heap: heap}
 	th := rt.Thread(0)
+	var dir mem.Addr
 	heap.Run(th, func(tx *mnemosyne.Tx) error {
 		for i := range m.tables {
 			m.tables[i] = NewRBTree(heap, tx)
 		}
 		m.customers = NewRBTree(heap, tx)
 		m.counters = tx.Alloc(numTables * 8)
+		// Persist the directory in the same transaction so the published
+		// root is never a dangling pointer.
+		dir = tx.Alloc(dirSize)
+		for i := range m.tables {
+			tx.WriteU64(dir+mem.Addr(dirTables+i*8), uint64(m.tables[i].RootPtr()))
+		}
+		tx.WriteU64(dir+dirCustomers, uint64(m.customers.RootPtr()))
+		tx.WriteU64(dir+dirCounters, uint64(m.counters))
 		return nil
 	})
+	heap.SetRoot(th, rootSlot, dir)
 	// Seed resources in batched transactions (vacation's setup phase).
 	const batch = 32
 	for start := 0; start < relations; start += batch {
@@ -93,6 +116,31 @@ func NewManager(rt *persist.Runtime, heap *mnemosyne.Heap, relations int, capaci
 		})
 	}
 	return m
+}
+
+// AttachManager reopens a manager over an existing heap purely from
+// persistent state: the root directory published in the heap's root table
+// supplies the tree root words and the counter array.
+func AttachManager(rt *persist.Runtime, heap *mnemosyne.Heap) *Manager {
+	th := rt.Thread(0)
+	dir := heap.Root(th, rootSlot)
+	m := &Manager{rt: rt, heap: heap}
+	for i := range m.tables {
+		m.tables[i] = AttachRBTree(heap, mem.Addr(th.LoadU64(dir+mem.Addr(dirTables+i*8))))
+	}
+	m.customers = AttachRBTree(heap, mem.Addr(th.LoadU64(dir+dirCustomers)))
+	m.counters = mem.Addr(th.LoadU64(dir + dirCounters))
+	return m
+}
+
+// Recover brings the manager back after a crash: the heap replays its
+// committed redo logs and rebuilds the allocator, then every structure is
+// re-attached from the persistent root directory (discarding the volatile
+// pointers, which may predate the crash).
+func (m *Manager) Recover() {
+	th := m.rt.Thread(0)
+	m.heap.Recover(th, true)
+	*m = *AttachManager(m.rt, m.heap)
 }
 
 // Reserve books one unit of (table, id) for customer in a durable

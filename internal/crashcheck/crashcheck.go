@@ -1,0 +1,327 @@
+// Package crashcheck is the suite-wide crash-consistency checker: it runs
+// any WHISPER application against the simulated PM device, crashes it at
+// systematically chosen points, reboots a fresh application instance on the
+// surviving durable image, and validates application-level invariants
+// against a volatile oracle model.
+//
+// The oracle discipline, shared by every adapter:
+//
+//   - operations acknowledged before the crash must be fully visible after
+//     recovery (persistence of acknowledged work);
+//   - the single operation in flight at the crash must be atomically
+//     present or absent (or, for unjournaled PMFS file data, torn only
+//     byte-wise inside the written range);
+//   - structural invariants (hash placement, tree balance, WAL/state
+//     machine legality, fsck) must hold in every recovered image.
+//
+// Crash points come in two flavors: operation boundaries (the device image
+// after k completed operations) and mid-operation points (an event hook
+// stops the world halfway through operation k's PM event stream, exactly
+// where the paper's epoch analysis says ordering bugs hide). The device's
+// two crash modes map onto three checker modes: AllPersisted freezes the
+// boundary image under strict semantics, MidEpoch stops mid-operation
+// under strict semantics, and AdversarialSubset stops mid-operation and
+// then lets the device independently keep or drop every line that was not
+// yet explicitly made durable — the legal residual states of a real
+// cache hierarchy.
+package crashcheck
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// Mode selects how a crash point is materialized.
+type Mode int
+
+const (
+	// AllPersisted crashes at an operation boundary with strict device
+	// semantics: exactly the explicitly persisted state survives.
+	AllPersisted Mode = iota
+	// MidEpoch crashes halfway through an operation's PM event stream
+	// with strict device semantics.
+	MidEpoch
+	// AdversarialSubset crashes mid-operation and additionally lets the
+	// device keep or drop each unpersisted dirty line independently.
+	AdversarialSubset
+)
+
+func (m Mode) String() string {
+	switch m {
+	case AllPersisted:
+		return "all-persisted"
+	case MidEpoch:
+		return "mid-epoch"
+	case AdversarialSubset:
+		return "adversarial-subset"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Modes returns all checker modes.
+func Modes() []Mode { return []Mode{AllPersisted, MidEpoch, AdversarialSubset} }
+
+// App is the adapter contract every checkable application implements.
+// Setup builds the application on rt and scripts `ops` deterministic
+// operations from seed; Do executes operation k; Recover reboots the
+// application from the (possibly crashed) durable image; Check compares
+// the recovered state against the adapter's volatile oracle model. The
+// adapter object survives the simulated crash, so its model still knows
+// which operations were acknowledged and which single one was in flight.
+type App interface {
+	Setup(rt *persist.Runtime, clients, ops int, seed int64)
+	Do(k int)
+	Recover()
+	Check() error
+}
+
+// Config scales a checking run. The zero value picks defaults that keep a
+// full ten-app matrix in the seconds range.
+type Config struct {
+	Clients int     // client threads (default 2)
+	Ops     int     // scripted operations per run (default 16)
+	Seeds   []int64 // workload seeds (default 1..8)
+	Points  []int   // crash points in [0, Ops) (default 0, 1, Ops/2, Ops-1)
+	Modes   []Mode  // crash modes (default all three)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.Ops <= 0 {
+		c.Ops = 16
+	}
+	if len(c.Seeds) == 0 {
+		for s := int64(1); s <= 8; s++ {
+			c.Seeds = append(c.Seeds, s)
+		}
+	}
+	if len(c.Points) == 0 {
+		c.Points = []int{0, 1, c.Ops / 2, c.Ops - 1}
+	}
+	seen := make(map[int]bool)
+	var pts []int
+	for _, p := range c.Points {
+		if p < 0 {
+			p = 0
+		}
+		if p >= c.Ops {
+			p = c.Ops - 1
+		}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	c.Points = pts
+	if len(c.Modes) == 0 {
+		c.Modes = Modes()
+	}
+	return c
+}
+
+// Violation is one failed (seed, point, mode) cell.
+type Violation struct {
+	App   string
+	Mode  Mode
+	Seed  int64
+	Point int
+	Err   error
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s seed=%d point=%d mode=%s: %v", v.App, v.Seed, v.Point, v.Mode, v.Err)
+}
+
+// Result summarizes checking one application.
+type Result struct {
+	App        string
+	Cells      int // (seed, point, mode) cells executed
+	Violations []Violation
+	Elapsed    time.Duration
+}
+
+// Ok reports whether every cell passed.
+func (r Result) Ok() bool { return len(r.Violations) == 0 }
+
+// crashSignal is the private panic value the event hook throws to stop the
+// application mid-operation. Anything else unwinding out of an adapter is a
+// real bug and is re-thrown.
+type crashSignal struct{}
+
+// CheckApp runs the full (seeds x points x modes) crash matrix for the
+// named suite application.
+func CheckApp(name string, cfg Config) (Result, error) {
+	ent, err := lookup(name)
+	if err != nil {
+		return Result{}, err
+	}
+	return checkEntry(ent, cfg)
+}
+
+// CheckAll runs the matrix for every registered application.
+func CheckAll(cfg Config) ([]Result, error) {
+	var out []Result
+	for _, ent := range registry {
+		r, err := checkEntry(ent, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func checkEntry(ent entry, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{App: ent.name}
+	start := time.Now()
+	for _, seed := range cfg.Seeds {
+		golden, err := goldenRun(ent, cfg, seed)
+		if err != nil {
+			return res, fmt.Errorf("crashcheck: %s: %w", ent.name, err)
+		}
+		for _, point := range cfg.Points {
+			for _, mode := range cfg.Modes {
+				res.Cells++
+				if err := runCell(ent, cfg, seed, point, mode, golden); err != nil {
+					res.Violations = append(res.Violations, Violation{
+						App: ent.name, Mode: mode, Seed: seed, Point: point, Err: err,
+					})
+				}
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// goldenRun executes the full workload without crashing, recording how many
+// PM events each operation emits (the yardstick for mid-operation crash
+// points) and validating that the application and its oracle agree on the
+// final state — a broken oracle must fail here, not in a crash cell.
+func goldenRun(ent entry, cfg Config, seed int64) ([]int, error) {
+	rt := persist.NewRuntime(ent.name, ent.layer, cfg.Clients, persist.Config{})
+	app := ent.factory()
+	app.Setup(rt, cfg.Clients, cfg.Ops, seed)
+	events := 0
+	rt.SetEventHook(func(trace.Event) { events++ })
+	counts := make([]int, cfg.Ops)
+	for k := 0; k < cfg.Ops; k++ {
+		before := events
+		app.Do(k)
+		counts[k] = events - before
+	}
+	rt.SetEventHook(nil)
+	if err := app.Check(); err != nil {
+		return nil, fmt.Errorf("golden run (seed %d) failed its own oracle: %w", seed, err)
+	}
+	return counts, nil
+}
+
+// runCell executes one (seed, point, mode) cell: run to the crash point,
+// freeze and crash the device, reboot, recover, check. A panic out of
+// Recover or Check counts as a violation (a corrupted image may legally
+// make recovery code blow up — that is a detection, not a checker crash).
+func runCell(ent entry, cfg Config, seed int64, point int, mode Mode, golden []int) (err error) {
+	frozen, app, rt := executeToCrash(ent, cfg, seed, point, mode, golden)
+	frozen.Crash(deviceMode(mode), crashSeed(seed, point, mode))
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovery panicked: %v", r)
+		}
+	}()
+	rt.Reboot(frozen)
+	app.Recover()
+	return app.Check()
+}
+
+// executeToCrash builds the application, runs it up to the crash point and
+// returns the frozen pre-crash device image (not yet crashed). For
+// boundary mode the image is cloned between operations; for mid-operation
+// modes an event hook clones it halfway through operation `point`'s PM
+// event stream (per the golden run) and aborts the operation with a
+// crashSignal panic, exactly as a power failure would stop the world
+// mid-store.
+func executeToCrash(ent entry, cfg Config, seed int64, point int, mode Mode, golden []int) (*pmem.Device, App, *persist.Runtime) {
+	rt := persist.NewRuntime(ent.name, ent.layer, cfg.Clients, persist.Config{})
+	app := ent.factory()
+	app.Setup(rt, cfg.Clients, cfg.Ops, seed)
+	for k := 0; k < point; k++ {
+		app.Do(k)
+	}
+	if mode == AllPersisted {
+		return rt.Dev.Clone(), app, rt
+	}
+	var frozen *pmem.Device
+	countdown := golden[point] / 2
+	if countdown < 1 {
+		countdown = 1
+	}
+	rt.SetEventHook(func(trace.Event) {
+		countdown--
+		if countdown == 0 {
+			rt.SetEventHook(nil)
+			frozen = rt.Dev.Clone()
+			panic(crashSignal{})
+		}
+	})
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); !ok {
+					panic(r)
+				}
+			}
+		}()
+		app.Do(point)
+	}()
+	rt.SetEventHook(nil)
+	if frozen == nil {
+		// The operation emitted fewer events than its golden twin — runs
+		// are deterministic so this should not happen; degrade to the
+		// post-operation boundary rather than fail the cell.
+		frozen = rt.Dev.Clone()
+	}
+	return frozen, app, rt
+}
+
+func deviceMode(m Mode) pmem.CrashMode {
+	if m == AdversarialSubset {
+		return pmem.Adversarial
+	}
+	return pmem.Strict
+}
+
+// crashSeed derives the device crash seed (which drives adversarial
+// keep/drop choices) deterministically from the cell coordinates.
+func crashSeed(seed int64, point int, mode Mode) int64 {
+	return seed*1000003 + int64(point)*8191 + int64(mode)*131 + 17
+}
+
+// DurableImageHash runs a single cell up to and including the device crash
+// and returns the SHA-256 of the canonical durable-image snapshot. Two
+// invocations with identical coordinates must agree byte for byte — the
+// determinism contract the regression test pins 50 times over.
+func DurableImageHash(name string, cfg Config, seed int64, point int, mode Mode) ([32]byte, error) {
+	ent, err := lookup(name)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	cfg = cfg.withDefaults()
+	golden, err := goldenRun(ent, cfg, seed)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	if point < 0 || point >= cfg.Ops {
+		return [32]byte{}, fmt.Errorf("crashcheck: point %d out of range [0,%d)", point, cfg.Ops)
+	}
+	frozen, _, _ := executeToCrash(ent, cfg, seed, point, mode, golden)
+	frozen.Crash(deviceMode(mode), crashSeed(seed, point, mode))
+	return TakeSnapshot(frozen).Hash(), nil
+}

@@ -1,0 +1,232 @@
+package crashcheck
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmem"
+)
+
+// TestRecoveryMatrix is the table-driven per-app recovery test: every suite
+// application, crash at operation boundaries and mid-operation points
+// k = 0, 1, N/2, N-1 for a fixed seed, under all three crash modes.
+func TestRecoveryMatrix(t *testing.T) {
+	const ops = 8
+	cfg := Config{
+		Clients: 2,
+		Ops:     ops,
+		Seeds:   []int64{7},
+		Points:  []int{0, 1, ops / 2, ops - 1},
+	}
+	for _, name := range Apps() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := CheckApp(name, cfg)
+			if err != nil {
+				t.Fatalf("CheckApp(%s): %v", name, err)
+			}
+			if want := len(cfg.Seeds) * len(cfg.Points) * 3; res.Cells != want {
+				t.Errorf("ran %d cells, want %d", res.Cells, want)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}
+
+// naiveKV is an append-only persistent array of {key, value} slots behind a
+// count word. The fenced variant persists each slot before bumping the
+// count (the count bump is the atomic commit point); the broken variant
+// omits every flush and fence — the classic missing-fence bug the checker
+// exists to catch.
+type naiveKV struct {
+	rt      *persist.Runtime
+	base    mem.Addr
+	fenced  bool
+	acked   int
+	pending bool
+}
+
+func (n *naiveKV) Setup(rt *persist.Runtime, clients, ops int, seed int64) {
+	n.rt = rt
+	n.base = rt.Dev.Map(8 + ops*16)
+}
+
+func (n *naiveKV) key(k int) uint64 { return uint64(k) + 1 }
+func (n *naiveKV) val(k int) uint64 { return (uint64(k) + 1) * 7 }
+
+func (n *naiveKV) Do(k int) {
+	th := n.rt.Thread(0)
+	n.pending = true
+	slot := n.base + 8 + mem.Addr(k*16)
+	th.StoreU64(slot, n.key(k))
+	th.StoreU64(slot+8, n.val(k))
+	if n.fenced {
+		th.FlushFence(slot, 16)
+	}
+	th.StoreU64(n.base, uint64(k)+1)
+	if n.fenced {
+		th.FlushFence(n.base, 8)
+	}
+	n.acked = k + 1
+	n.pending = false
+}
+
+func (n *naiveKV) Recover() {}
+
+func (n *naiveKV) Check() error {
+	th := n.rt.Thread(0)
+	count := int(th.LoadU64(n.base))
+	switch {
+	case n.pending && (count == n.acked || count == n.acked+1):
+	case !n.pending && count == n.acked:
+	default:
+		return fmt.Errorf("count %d, acked %d (pending %v)", count, n.acked, n.pending)
+	}
+	for i := 0; i < count; i++ {
+		slot := n.base + 8 + mem.Addr(i*16)
+		if th.LoadU64(slot) != n.key(i) || th.LoadU64(slot+8) != n.val(i) {
+			return fmt.Errorf("slot %d corrupted: key %d val %d", i, th.LoadU64(slot), th.LoadU64(slot+8))
+		}
+	}
+	return nil
+}
+
+// TestBrokenAppCaught pins the checker's detection power: removing the
+// flushes and fences from an otherwise-correct app must produce violations,
+// and the properly fenced twin must pass the same matrix.
+func TestBrokenAppCaught(t *testing.T) {
+	cfg := Config{Clients: 1, Ops: 6, Seeds: []int64{1, 2}, Points: []int{1, 3, 5}}
+
+	broken := entry{name: "broken-kv", layer: "native", factory: func() App { return &naiveKV{} }}
+	res, err := checkEntry(broken, cfg)
+	if err != nil {
+		t.Fatalf("checkEntry(broken): %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("fence-deficient app passed the crash matrix; the checker is blind")
+	}
+
+	fixed := entry{name: "fixed-kv", layer: "native", factory: func() App { return &naiveKV{fenced: true} }}
+	res, err = checkEntry(fixed, cfg)
+	if err != nil {
+		t.Fatalf("checkEntry(fixed): %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("fenced twin flagged: %s", v)
+	}
+}
+
+// TestDeterministicCrashImages is the determinism regression: the same
+// (app, seed, crash point, mode) cell must produce a byte-identical durable
+// image 50 times over.
+func TestDeterministicCrashImages(t *testing.T) {
+	const runs = 50
+	cfg := Config{Clients: 2, Ops: 8, Seeds: []int64{3}, Points: []int{3}}
+	for _, tc := range []struct {
+		app  string
+		mode Mode
+	}{
+		{"hashmap", MidEpoch},
+		{"hashmap", AdversarialSubset},
+		{"ycsb", AllPersisted},
+	} {
+		var want [32]byte
+		for i := 0; i < runs; i++ {
+			got, err := DurableImageHash(tc.app, cfg, 3, 3, tc.mode)
+			if err != nil {
+				t.Fatalf("%s/%s run %d: %v", tc.app, tc.mode, i, err)
+			}
+			if i == 0 {
+				want = got
+			} else if got != want {
+				t.Fatalf("%s/%s: image hash diverged at run %d", tc.app, tc.mode, i)
+			}
+		}
+	}
+}
+
+// buildDevice makes a small device with a few durable and dirty lines.
+func buildDevice(t *testing.T) *pmem.Device {
+	t.Helper()
+	d := pmem.New()
+	a := d.Map(3 * 4096)
+	d.Store(0, a, []byte("durable after fence"))
+	d.Store(0, a+8192, bytes.Repeat([]byte{0xAB}, 128))
+	d.Flush(0, a, 64)
+	d.Flush(0, a+8192, 128)
+	d.Fence(0)
+	d.Store(0, a+4096, []byte("dirty, not persisted")) // must not appear durable
+	return d
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := buildDevice(t)
+	snap := TakeSnapshot(d)
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Next != snap.Next || len(got.Pages) != len(snap.Pages) {
+		t.Fatalf("round trip mismatch: next %d/%d pages %d/%d", got.Next, snap.Next, len(got.Pages), len(snap.Pages))
+	}
+	for i := range got.Pages {
+		if got.Pages[i] != snap.Pages[i] {
+			t.Fatalf("page %d differs after round trip", i)
+		}
+	}
+	if got.Hash() != snap.Hash() {
+		t.Fatalf("hash differs after round trip")
+	}
+	// Restore must reproduce the durable image on a fresh device.
+	r := TakeSnapshot(got.Restore())
+	if r.Hash() != snap.Hash() {
+		t.Fatalf("restored device durable image differs")
+	}
+}
+
+func TestDecodeSnapshotRejectsCorrupt(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		TakeSnapshot(buildDevice(t)).Encode(&buf)
+		return buf.Bytes()
+	}()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), valid[4:]...),
+		"truncated": valid[:len(valid)-7],
+	}
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = 99
+	cases["bad version"] = badVersion
+	hugePages := append([]byte(nil), valid...)
+	for i := 16; i < 24; i++ {
+		hugePages[i] = 0xFF
+	}
+	cases["absurd page count"] = hugePages
+	if len(valid) >= 24+2*(8+pmem.PageBytes) {
+		swapped := append([]byte(nil), valid...)
+		copy(swapped[24:], valid[24+8+pmem.PageBytes:24+2*(8+pmem.PageBytes)])
+		copy(swapped[24+8+pmem.PageBytes:], valid[24:24+8+pmem.PageBytes])
+		cases["non-ascending indexes"] = swapped
+	}
+
+	for name, data := range cases {
+		if _, err := DecodeSnapshot(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(valid)); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}

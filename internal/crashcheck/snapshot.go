@@ -1,0 +1,112 @@
+package crashcheck
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/pmem"
+)
+
+// Snapshot is a canonical serialization of a device's durable image: the
+// allocation high-water mark plus every durable page in ascending index
+// order. Canonical means two devices with equal durable contents encode to
+// identical bytes, which is what makes image hashes meaningful for the
+// determinism regression and lets crash images be stored and replayed.
+type Snapshot struct {
+	Next  mem.Addr
+	Pages []pmem.DurablePage
+}
+
+// Binary format: "WCRS" | version u32 | next u64 | npages u64, then per
+// page index u64 | 4096 raw bytes. All integers little-endian.
+const (
+	snapMagic   = "WCRS"
+	snapVersion = 1
+
+	// maxSnapPages bounds the page count a decoder will accept, so a
+	// corrupt or hostile header cannot demand an absurd allocation.
+	maxSnapPages = 1 << 22 // 16 GiB of image, far above any simulation
+)
+
+// TakeSnapshot captures the durable image of d.
+func TakeSnapshot(d *pmem.Device) *Snapshot {
+	return &Snapshot{Next: d.Mapped(), Pages: d.DurableImage()}
+}
+
+// Restore builds a fresh device whose durable and live images equal the
+// snapshot — the persistent-memory DIMM surviving into the next boot.
+func (s *Snapshot) Restore() *pmem.Device {
+	return pmem.NewFromDurable(s.Pages, s.Next)
+}
+
+// Encode writes the snapshot in the canonical binary format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	var hdr [24]byte
+	copy(hdr[0:], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], snapVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.Next))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(s.Pages)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var idx [8]byte
+	for i := range s.Pages {
+		binary.LittleEndian.PutUint64(idx[:], s.Pages[i].Index)
+		if _, err := w.Write(idx[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(s.Pages[i].Data[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot written by Encode, validating structure:
+// magic, version, a bounded page count, and strictly ascending page
+// indexes (the canonical-form invariant).
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("crashcheck: snapshot header: %w", err)
+	}
+	if string(hdr[0:4]) != snapMagic {
+		return nil, fmt.Errorf("crashcheck: bad snapshot magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != snapVersion {
+		return nil, fmt.Errorf("crashcheck: unsupported snapshot version %d", v)
+	}
+	s := &Snapshot{Next: mem.Addr(binary.LittleEndian.Uint64(hdr[8:16]))}
+	npages := binary.LittleEndian.Uint64(hdr[16:24])
+	if npages > maxSnapPages {
+		return nil, fmt.Errorf("crashcheck: snapshot claims %d pages (max %d)", npages, maxSnapPages)
+	}
+	// Append page by page rather than preallocating npages entries: the
+	// claimed count is only trusted once the bytes actually arrive.
+	var buf [8 + pmem.PageBytes]byte
+	for i := uint64(0); i < npages; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("crashcheck: snapshot page %d: %w", i, err)
+		}
+		var pg pmem.DurablePage
+		pg.Index = binary.LittleEndian.Uint64(buf[0:8])
+		copy(pg.Data[:], buf[8:])
+		if n := len(s.Pages); n > 0 && pg.Index <= s.Pages[n-1].Index {
+			return nil, fmt.Errorf("crashcheck: snapshot page indexes not ascending at %d", i)
+		}
+		s.Pages = append(s.Pages, pg)
+	}
+	return s, nil
+}
+
+// Hash returns the SHA-256 of the canonical encoding.
+func (s *Snapshot) Hash() [32]byte {
+	h := sha256.New()
+	s.Encode(h) // hash.Hash writes never fail
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}

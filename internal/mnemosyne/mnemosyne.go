@@ -180,7 +180,8 @@ func (tx *Tx) WriteU64(a mem.Addr, v uint64) {
 func (tx *Tx) appendRecord(a mem.Addr, data []byte) {
 	rec := tx.logPos
 	padded := (len(data) + 7) &^ 7
-	if rec+mem.Addr(recHeader+padded) > tx.h.logs[tx.th.ID()]+logBytes {
+	// Reserve room for the commit-time zero terminator after the last record.
+	if rec+mem.Addr(recHeader+padded) > tx.h.logs[tx.th.ID()]+logBytes-recHeader {
 		panic("mnemosyne: redo log overflow (transaction too large)")
 	}
 	var hdr [recHeader]byte
@@ -245,6 +246,14 @@ func (tx *Tx) commit() {
 		return
 	}
 
+	// Terminate the record stream with an explicit zero header. Log
+	// truncation only zeroes the headers of the previous transaction at
+	// *its* record boundaries, so when record sizes differ across
+	// transactions the bytes at this transaction's logPos may be stale
+	// payload from an earlier, longer transaction — recovery replay would
+	// run past the end of the batch and apply garbage. The terminator
+	// rides in the same drained epoch as the records: no extra fence.
+	th.StoreNT(tx.logPos, make([]byte, recHeader))
 	// Drain the batched log records (one epoch for the whole write set).
 	th.Fence()
 	// Persist the commit record: the atomic commit point.

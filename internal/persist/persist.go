@@ -56,6 +56,7 @@ type Runtime struct {
 	cfg     Config
 	threads []*Thread
 	vnext   mem.Addr // volatile address bump pointer (below mem.PMBase)
+	onEvent func(trace.Event)
 }
 
 // NewRuntime creates a runtime for app running under the given access layer
@@ -107,6 +108,27 @@ func (r *Runtime) Crash(mode pmem.CrashMode, seed int64) {
 	r.Dev.Crash(mode, seed)
 	for _, th := range r.threads {
 		th.txDepth = 0
+		th.epochOpen = false
+	}
+}
+
+// SetEventHook registers fn to be called after every persistent trace event
+// is recorded (nil clears it). The crash-consistency checker uses the hook
+// to stop execution at a precise point in the PM instruction stream; the
+// device operation the event describes has already taken effect when the
+// hook runs, so a device snapshot taken inside fn captures the state just
+// after that instruction.
+func (r *Runtime) SetEventHook(fn func(trace.Event)) { r.onEvent = fn }
+
+// Reboot replaces the runtime's device with dev — typically a crash image —
+// and resets all per-thread volatile state (open transactions and epochs
+// are abandoned, like CPU state across a power failure). The trace keeps
+// recording, so recovery-path PM traffic is visible to analysis.
+func (r *Runtime) Reboot(dev *pmem.Device) {
+	r.Dev = dev
+	for _, th := range r.threads {
+		th.txDepth = 0
+		th.epochOpen = false
 	}
 }
 
@@ -130,13 +152,17 @@ func (t *Thread) ID() int { return int(t.id) }
 func (t *Thread) Runtime() *Runtime { return t.rt }
 
 func (t *Thread) emit(k trace.Kind, a mem.Addr, size int) {
-	t.rt.Trace.Append(trace.Event{
+	ev := trace.Event{
 		Time: t.rt.Clock.Now(),
 		Addr: a,
 		Size: uint32(size),
 		TID:  int32(t.id),
 		Kind: k,
-	})
+	}
+	t.rt.Trace.Append(ev)
+	if t.rt.onEvent != nil {
+		t.rt.onEvent(ev)
+	}
 }
 
 func (t *Thread) tick(c mem.Cycles) { t.rt.Clock.AdvanceCycles(c, t.rt.cfg.Latency) }

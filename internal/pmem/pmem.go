@@ -476,3 +476,92 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // ResetStats zeroes the device counters.
 func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// Mapped returns the device's bump pointer: the first unmapped persistent
+// address. Together with DurableImage it fully describes the durable state.
+func (d *Device) Mapped() mem.Addr { return d.next }
+
+// Clone returns a deep copy of the device: both images, every thread's
+// flush/WCB buffers, the bump pointer and the counters. The crash checker
+// clones the device at the injection point so the crash image is frozen
+// while deferred cleanup code keeps running on the original.
+func (d *Device) Clone() *Device {
+	c := &Device{
+		live:    image{pages: make(map[uint64]*page, len(d.live.pages))},
+		durable: image{pages: make(map[uint64]*page, len(d.durable.pages))},
+		ndirty:  d.ndirty,
+		next:    d.next,
+		stats:   d.stats,
+	}
+	for idx, pg := range d.live.pages {
+		cp := *pg
+		c.live.pages[idx] = &cp
+	}
+	for idx, pg := range d.durable.pages {
+		cp := *pg
+		c.durable.pages[idx] = &cp
+	}
+	c.threads = make([]threadBuf, len(d.threads))
+	for i := range d.threads {
+		if d.threads[i].flushed != nil {
+			c.threads[i].flushed = make(map[mem.Line]line, len(d.threads[i].flushed))
+			for l, snap := range d.threads[i].flushed {
+				c.threads[i].flushed[l] = snap
+			}
+		}
+		if d.threads[i].wcb != nil {
+			c.threads[i].wcb = make(map[mem.Line]line, len(d.threads[i].wcb))
+			for l, snap := range d.threads[i].wcb {
+				c.threads[i].wcb[l] = snap
+			}
+		}
+	}
+	return c
+}
+
+// PageBytes is the data size of one image page.
+const PageBytes = mem.PageLines * mem.LineSize
+
+// DurablePage is one 4 KiB page of the durable image, identified by its
+// page index (line number >> mem.PageShift).
+type DurablePage struct {
+	Index uint64
+	Data  [PageBytes]byte
+}
+
+// DurableImage returns a copy of the durable image as pages sorted by
+// index. The enumeration is deterministic: two devices with equal durable
+// state return identical slices regardless of write order or map layout.
+func (d *Device) DurableImage() []DurablePage {
+	out := make([]DurablePage, 0, len(d.durable.pages))
+	for idx, pg := range d.durable.pages {
+		dp := DurablePage{Index: idx}
+		for li := 0; li < mem.PageLines; li++ {
+			copy(dp.Data[li*mem.LineSize:], pg.data[li][:])
+		}
+		out = append(out, dp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// NewFromDurable builds a device rebooted onto the given durable image: the
+// live image is a copy of the durable one (what a machine sees after power
+// returns), all caches and write buffers are empty, and the bump pointer is
+// restored so recovery code can keep mapping fresh regions.
+func NewFromDurable(pages []DurablePage, next mem.Addr) *Device {
+	d := New()
+	if next > d.next {
+		d.next = next
+	}
+	for _, dp := range pages {
+		pg := &page{}
+		for li := 0; li < mem.PageLines; li++ {
+			copy(pg.data[li][:], dp.Data[li*mem.LineSize:(li+1)*mem.LineSize])
+		}
+		d.durable.pages[dp.Index] = pg
+		lp := &page{data: pg.data}
+		d.live.pages[dp.Index] = lp
+	}
+	return d
+}

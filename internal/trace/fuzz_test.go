@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+)
+
+// FuzzDecode throws arbitrary bytes at the trace decoder: it must accept or
+// reject without panicking or over-allocating, and any accepted trace must
+// survive an encode/decode round trip unchanged.
+func FuzzDecode(f *testing.F) {
+	seed := func(tr *Trace) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(&Trace{App: "echo", Layer: "native", Threads: 1})
+	seed(&Trace{
+		App: "ycsb", Layer: "native", Threads: 2,
+		VolatileLoads: 7, VolatileStores: 3,
+		Events: []Event{
+			{Time: 10, Addr: mem.PMBase, Size: 8, TID: 0, Kind: KStore},
+			{Time: 12, Addr: mem.PMBase + 64, Size: 64, TID: 1, Kind: KFlush},
+			{Time: 13, TID: 1, Kind: KFence},
+		},
+	})
+	f.Add([]byte("WSPR"))
+	f.Add([]byte{})
+	f.Add([]byte("WSPR\x01\x04echo\x06native"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded trace failed: %v", err)
+		}
+		if tr2.App != tr.App || tr2.Layer != tr.Layer || tr2.Threads != tr.Threads ||
+			tr2.VolatileLoads != tr.VolatileLoads || tr2.VolatileStores != tr.VolatileStores ||
+			len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed trace header or event count")
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != tr2.Events[i] {
+				t.Fatalf("round trip changed event %d", i)
+			}
+		}
+	})
+}
