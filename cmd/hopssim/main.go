@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	hopssim [-fig6] [-fig10] [-ops n] [-seed n] [-pb n]
+//	hopssim [-fig6] [-fig10] [-ops n] [-seed n] [-pb n] [-drain n] [-metrics out.json]
 //
-// With no figure flags, both print.
+// With no figure flags, both print. -drain sweeps the HOPS persist-buffer
+// drain launch threshold (paper §6.4 uses 16); -metrics dumps the replay's
+// occupancy and stall histograms per model.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"github.com/whisper-pm/whisper"
+	"github.com/whisper-pm/whisper/internal/cliutil"
 )
 
 // subset is the simulator-suitable application list of §5.3/§6.4.
@@ -32,6 +35,8 @@ func main() {
 	ops := flag.Int("ops", 0, "operations per client (0 = suite default)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	pb := flag.Int("pb", 0, "persist-buffer entries per thread (0 = paper's 32)")
+	drain := flag.Int("drain", 0, "PB occupancy that launches the background drain (0 = paper's 16)")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
 	flag.Parse()
 	both := !*fig6 && !*fig10
 
@@ -44,6 +49,9 @@ func main() {
 		if cfg.DrainAt == 0 {
 			cfg.DrainAt = 1
 		}
+	}
+	if *drain > 0 {
+		cfg.DrainAt = *drain
 	}
 
 	reports := make(map[string]*whisper.Report)
@@ -69,8 +77,8 @@ func main() {
 	}
 
 	if both || *fig10 {
-		fmt.Printf("== Figure 10: normalized runtime (PB=%d entries, %d MCs) ==\n",
-			cfg.PBEntries, cfg.MemoryControllers)
+		fmt.Printf("== Figure 10: normalized runtime (PB=%d entries, drain at %d, %d MCs) ==\n",
+			cfg.PBEntries, cfg.DrainAt, cfg.MemoryControllers)
 		models := whisper.HOPSModels()
 		fmt.Printf("%-10s", "Benchmark")
 		for _, m := range models {
@@ -93,5 +101,10 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println("\npaper averages: x86(NVM) 1.00, x86(PWQ) 0.845, HOPS(NVM) 0.757, HOPS(PWQ) 0.747, IDEAL 0.593")
+	}
+
+	if err := cliutil.WriteMetrics(*metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "hopssim:", err)
+		os.Exit(1)
 	}
 }

@@ -10,19 +10,22 @@
 //
 //	wanalyze -run [-fig3] [-fig4] [-fig5] [-amp] [-nti]
 //	wanalyze -dir traces/ -fig3
+//	wanalyze -run -metrics out.json
 //
-// With no figure flags, everything prints.
+// With no figure flags, everything prints. Exit status is 1 when there is
+// nothing to analyze or a trace fails to load, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
-	"strings"
 
 	"github.com/whisper-pm/whisper"
+	"github.com/whisper-pm/whisper/internal/cliutil"
 )
 
 var paper = map[string]struct {
@@ -36,76 +39,91 @@ var paper = map[string]struct {
 }
 
 func main() {
-	run := flag.Bool("run", false, "regenerate the suite in-process")
-	dir := flag.String("dir", "", "directory of saved .wspr traces")
-	ops := flag.Int("ops", 0, "operations per client when regenerating")
-	seed := flag.Int64("seed", 1, "workload seed when regenerating")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent benchmark runs with -run (1 = serial)")
-	fig3 := flag.Bool("fig3", false, "print Figure 3 (epochs per transaction)")
-	fig4 := flag.Bool("fig4", false, "print Figure 4 (epoch size distribution)")
-	fig5 := flag.Bool("fig5", false, "print Figure 5 (dependencies)")
-	amp := flag.Bool("amp", false, "print write amplification (§5.2)")
-	nti := flag.Bool("nti", false, "print NTI fractions (§5.2)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges injected, so error-path tests can
+// call it directly. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runSuite := fs.Bool("run", false, "regenerate the suite in-process")
+	dir := fs.String("dir", "", "directory of saved .wspr traces")
+	ops := fs.Int("ops", 0, "operations per client when regenerating")
+	seed := fs.Int64("seed", 1, "workload seed when regenerating")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "max concurrent benchmark runs with -run (1 = serial)")
+	fig3 := fs.Bool("fig3", false, "print Figure 3 (epochs per transaction)")
+	fig4 := fs.Bool("fig4", false, "print Figure 4 (epoch size distribution)")
+	fig5 := fs.Bool("fig5", false, "print Figure 5 (dependencies)")
+	amp := fs.Bool("amp", false, "print write amplification (§5.2)")
+	nti := fs.Bool("nti", false, "print NTI fractions (§5.2)")
+	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	all := !*fig3 && !*fig4 && !*fig5 && !*amp && !*nti
 
-	reports := collect(*run, *dir, *ops, *seed, *parallel)
+	reports, err := collect(*runSuite, *dir, *ops, *seed, *parallel)
+	if err != nil {
+		fmt.Fprintln(stderr, "wanalyze:", err)
+		return 1
+	}
 	if len(reports) == 0 {
-		fmt.Fprintln(os.Stderr, "wanalyze: nothing to analyze (use -run or -dir)")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "wanalyze: nothing to analyze (use -run or -dir)")
+		return 1
 	}
 
 	if all || *fig3 {
-		fmt.Println("== Figure 3: median epochs per transaction ==")
-		fmt.Printf("%-10s %-10s %s\n", "Benchmark", "Measured", "Paper")
+		fmt.Fprintln(stdout, "== Figure 3: median epochs per transaction ==")
+		fmt.Fprintf(stdout, "%-10s %-10s %s\n", "Benchmark", "Measured", "Paper")
 		for _, r := range reports {
-			fmt.Printf("%-10s %-10d %d\n", r.App, r.MedianTxEpochs, paper[r.App].median)
+			fmt.Fprintf(stdout, "%-10s %-10d %d\n", r.App, r.MedianTxEpochs, paper[r.App].median)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if all || *fig4 {
-		fmt.Println("== Figure 4: epoch size distribution (64B lines) ==")
-		fmt.Printf("%-10s", "Benchmark")
+		fmt.Fprintln(stdout, "== Figure 4: epoch size distribution (64B lines) ==")
+		fmt.Fprintf(stdout, "%-10s", "Benchmark")
 		for _, l := range whisper.SizeBucketLabels {
-			fmt.Printf(" %6s", l)
+			fmt.Fprintf(stdout, " %6s", l)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		for _, r := range reports {
-			fmt.Printf("%-10s", r.App)
+			fmt.Fprintf(stdout, "%-10s", r.App)
 			for _, f := range r.EpochSizes {
-				fmt.Printf(" %5.1f%%", f*100)
+				fmt.Fprintf(stdout, " %5.1f%%", f*100)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if all || *fig5 {
-		fmt.Println("== Figure 5: epoch dependencies within 50 µs ==")
-		fmt.Printf("%-10s %-12s %-12s %s\n", "Benchmark", "self-dep", "cross-dep", "paper self-dep")
+		fmt.Fprintln(stdout, "== Figure 5: epoch dependencies within 50 µs ==")
+		fmt.Fprintf(stdout, "%-10s %-12s %-12s %s\n", "Benchmark", "self-dep", "cross-dep", "paper self-dep")
 		for _, r := range reports {
-			fmt.Printf("%-10s %-12.2f %-12.3f %.2f\n",
+			fmt.Fprintf(stdout, "%-10s %-12.2f %-12.3f %.2f\n",
 				r.App, r.SelfDeps*100, r.CrossDeps*100, paper[r.App].selfDeps)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if all || *amp {
-		fmt.Println("== §5.2: write amplification (extra bytes per user byte) ==")
+		fmt.Fprintln(stdout, "== §5.2: write amplification (extra bytes per user byte) ==")
 		paperAmp := map[string]string{
 			"nfs": "~10%", "exim": "~10%", "mysql": "~10%",
 			"vacation": "300-600%", "memcached": "300-600%",
 			"redis": "~1000%", "ctree": "~1000%", "hashmap": "~1000%",
 			"ycsb": "200-1400%", "tpcc": "200-1400%", "echo": "n/a",
 		}
-		fmt.Printf("%-10s %-12s %s\n", "Benchmark", "Measured", "Paper")
+		fmt.Fprintf(stdout, "%-10s %-12s %s\n", "Benchmark", "Measured", "Paper")
 		for _, r := range reports {
-			fmt.Printf("%-10s %-12.0f %s\n", r.App, r.Amplification*100, paperAmp[r.App])
+			fmt.Fprintf(stdout, "%-10s %-12.0f %s\n", r.App, r.Amplification*100, paperAmp[r.App])
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if all || *nti {
-		fmt.Println("== §5.2: non-temporal store fraction (bytes) ==")
-		fmt.Printf("%-10s %-12s %s\n", "Benchmark", "Measured", "Paper")
+		fmt.Fprintln(stdout, "== §5.2: non-temporal store fraction (bytes) ==")
+		fmt.Fprintf(stdout, "%-10s %-12s %s\n", "Benchmark", "Measured", "Paper")
 		for _, r := range reports {
 			ref := "-"
 			switch r.Layer {
@@ -114,45 +132,41 @@ func main() {
 			case "mnemosyne":
 				ref = "~67%"
 			}
-			fmt.Printf("%-10s %-12.1f %s\n", r.App, r.NTIFraction*100, ref)
+			fmt.Fprintf(stdout, "%-10s %-12.1f %s\n", r.App, r.NTIFraction*100, ref)
 		}
 	}
+	if err := cliutil.WriteMetrics(*metrics); err != nil {
+		fmt.Fprintln(stderr, "wanalyze:", err)
+		return 1
+	}
+	return 0
 }
 
-func collect(run bool, dir string, ops int, seed int64, parallel int) []*whisper.Report {
-	var out []*whisper.Report
+func collect(run bool, dir string, ops int, seed int64, parallel int) ([]*whisper.Report, error) {
 	if run {
 		// Suite members are independent runs; regenerate them concurrently.
 		// Reports are identical to serial regeneration for a fixed seed.
-		reps, err := whisper.RunAllParallel(whisper.Config{Ops: ops, Seed: seed}, parallel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return reps
+		return whisper.RunAllParallel(whisper.Config{Ops: ops, Seed: seed}, parallel)
 	}
 	if dir == "" {
-		return nil
+		return nil, nil
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "*.wspr"))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return nil, err
 	}
+	var out []*whisper.Report
 	for _, path := range matches {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return nil, err
 		}
 		tr, err := whisper.DecodeTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wanalyze: %s: %v\n", path, err)
-			os.Exit(1)
+			return nil, fmt.Errorf("%s: %v", path, err)
 		}
-		_ = strings.TrimSuffix // keep strings import honest if unused later
 		out = append(out, whisper.Analyze(tr))
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/whisper-pm/whisper"
+)
+
+func TestRunErrorPaths(t *testing.T) {
+	tmp := t.TempDir()
+
+	// A valid saved trace for the success and corrupt-file cases.
+	traceDir := filepath.Join(tmp, "traces")
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := whisper.Run("hashmap", whisper.Config{Clients: 2, Ops: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(traceDir, "hashmap.wspr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Trace.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	corruptDir := filepath.Join(tmp, "corrupt")
+	if err := os.MkdirAll(corruptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(corruptDir, "bad.wspr"), []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{
+			name:     "no input selected",
+			args:     nil,
+			wantCode: 1,
+			wantErr:  "nothing to analyze",
+		},
+		{
+			name:     "unknown flag",
+			args:     []string{"-nope"},
+			wantCode: 2,
+			wantErr:  "flag provided but not defined",
+		},
+		{
+			name:     "empty trace dir",
+			args:     []string{"-dir", tmp},
+			wantCode: 1,
+			wantErr:  "nothing to analyze",
+		},
+		{
+			name:     "corrupt trace file",
+			args:     []string{"-dir", corruptDir},
+			wantCode: 1,
+			wantErr:  "bad.wspr",
+		},
+		{
+			name:     "unwritable metrics path",
+			args:     []string{"-dir", traceDir, "-metrics", filepath.Join(tmp, "no-dir", "m.json")},
+			wantCode: 1,
+			wantErr:  "write metrics",
+		},
+		{
+			name:     "saved trace success",
+			args:     []string{"-dir", traceDir, "-fig4", "-metrics", filepath.Join(tmp, "m.json")},
+			wantCode: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.wantErr)
+			}
+			if tc.wantCode == 0 && !strings.Contains(stdout.String(), "Figure 4") {
+				t.Fatalf("success run printed no figure:\n%s", stdout.String())
+			}
+		})
+	}
+}

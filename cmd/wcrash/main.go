@@ -14,30 +14,49 @@
 //	wcrash -points 0,1,7,15,31     # explicit crash points
 //	wcrash -modes mid-epoch        # one mode only
 //	wcrash -smoke                  # fast CI matrix (all apps, small ops)
+//	wcrash -metrics out.json       # dump checker metrics after the matrix
 //
-// Exit status is 1 if any cell produced a violation.
+// Exit status is 1 if any cell produced a violation, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/whisper-pm/whisper"
+	"github.com/whisper-pm/whisper/internal/cliutil"
 )
 
 func main() {
-	app := flag.String("app", "", "check one application (default: all)")
-	clients := flag.Int("clients", 0, "client threads (0 = checker default)")
-	ops := flag.Int("ops", 0, "scripted operations per run (0 = checker default)")
-	seeds := flag.Int("seeds", 0, "number of workload seeds 1..N (0 = checker default of 8)")
-	points := flag.String("points", "", "comma-separated crash points (default 0,1,Ops/2,Ops-1)")
-	modes := flag.String("modes", "", "comma-separated modes: all-persisted,mid-epoch,adversarial-subset (default all)")
-	smoke := flag.Bool("smoke", false, "fast CI matrix: all apps, 2 seeds, 8 ops")
-	verbose := flag.Bool("v", false, "print every violation, not just per-app summaries")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges injected, so error-path tests can
+// call it directly. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wcrash", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "", "check one application (default: all)")
+	clients := fs.Int("clients", 0, "client threads (0 = checker default)")
+	ops := fs.Int("ops", 0, "scripted operations per run (0 = checker default)")
+	seeds := fs.Int("seeds", 0, "number of workload seeds 1..N (0 = checker default of 8)")
+	points := fs.String("points", "", "comma-separated crash points (default 0,1,Ops/2,Ops-1)")
+	modes := fs.String("modes", "", "comma-separated modes: all-persisted,mid-epoch,adversarial-subset (default all)")
+	smoke := fs.Bool("smoke", false, "fast CI matrix: all apps, 2 seeds, 8 ops")
+	verbose := fs.Bool("v", false, "print every violation, not just per-app summaries")
+	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "wcrash:", err)
+		return 2
+	}
 
 	cfg := whisper.CrashCheckConfig{Clients: *clients, Ops: *ops}
 	if *smoke {
@@ -49,40 +68,56 @@ func main() {
 	}
 	var err error
 	if cfg.Points, err = parsePoints(*points); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if cfg.Modes, err = parseModes(*modes); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	apps := whisper.CrashApps()
 	if *app != "" {
+		// Validate before running anything: an unknown app must be a clean
+		// usage error, not a mid-matrix failure.
+		found := false
+		for _, name := range apps {
+			if name == *app {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fail(fmt.Errorf("unknown app %q (have %s)", *app, strings.Join(apps, ", ")))
+		}
 		apps = []string{*app}
 	}
 
-	fmt.Printf("%-10s  %-7s  %-10s  %-8s  %s\n", "app", "cells", "violations", "elapsed", "status")
+	fmt.Fprintf(stdout, "%-10s  %-7s  %-10s  %-8s  %s\n", "app", "cells", "violations", "elapsed", "status")
 	failed := false
 	for _, name := range apps {
 		rep, err := whisper.CrashCheck(name, cfg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		status := "ok"
 		if !rep.Ok() {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%-10s  %-7d  %-10d  %-8s  %s\n",
+		fmt.Fprintf(stdout, "%-10s  %-7d  %-10d  %-8s  %s\n",
 			rep.App, rep.Cells, len(rep.Violations), rep.Elapsed.Round(1e6), status)
 		if *verbose || !rep.Ok() {
 			for _, v := range rep.Violations {
-				fmt.Printf("    %s\n", v)
+				fmt.Fprintf(stdout, "    %s\n", v)
 			}
 		}
 	}
-	if failed {
-		os.Exit(1)
+	if err := cliutil.WriteMetrics(*metrics); err != nil {
+		return fail(err)
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 func parsePoints(s string) ([]int, error) {
@@ -94,6 +129,9 @@ func parsePoints(s string) ([]int, error) {
 		p, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
 			return nil, fmt.Errorf("bad crash point %q: %v", f, err)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("bad crash point %d: points are operation indices and must be >= 0", p)
 		}
 		out = append(out, p)
 	}
@@ -119,9 +157,4 @@ func parseModes(s string) ([]whisper.CrashMode, error) {
 		}
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wcrash:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunErrorPaths(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring expected on stderr
+	}{
+		{
+			name:     "unknown app",
+			args:     []string{"-app", "nosuchapp"},
+			wantCode: 2,
+			wantErr:  `unknown app "nosuchapp"`,
+		},
+		{
+			name:     "unknown flag",
+			args:     []string{"-frobnicate"},
+			wantCode: 2,
+			wantErr:  "flag provided but not defined",
+		},
+		{
+			name:     "non-numeric point",
+			args:     []string{"-points", "1,zap"},
+			wantCode: 2,
+			wantErr:  `bad crash point "zap"`,
+		},
+		{
+			name:     "negative point",
+			args:     []string{"-points", "-3"},
+			wantCode: 2,
+			wantErr:  "bad crash point -3",
+		},
+		{
+			name:     "unknown mode",
+			args:     []string{"-modes", "mid-epoch,quantum"},
+			wantCode: 2,
+			wantErr:  `unknown mode "quantum"`,
+		},
+		{
+			name: "unwritable metrics path",
+			args: []string{"-app", "ctree", "-ops", "4", "-seeds", "1",
+				"-points", "1", "-modes", "all-persisted",
+				"-metrics", filepath.Join(tmp, "missing-dir", "out.json")},
+			wantCode: 2,
+			wantErr:  "write metrics",
+		},
+		{
+			name: "single cell success",
+			args: []string{"-app", "ctree", "-ops", "4", "-seeds", "1",
+				"-points", "1", "-modes", "all-persisted",
+				"-metrics", filepath.Join(tmp, "ok.json")},
+			wantCode: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.wantErr)
+			}
+			if tc.wantCode == 0 && !strings.Contains(stdout.String(), "ok") {
+				t.Fatalf("success run printed no ok row:\n%s", stdout.String())
+			}
+		})
+	}
+}
+
+func TestParsePoints(t *testing.T) {
+	got, err := parsePoints(" 0, 5 ,31")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 5 || got[2] != 31 {
+		t.Fatalf("parsePoints = %v, %v", got, err)
+	}
+	if pts, err := parsePoints(""); err != nil || pts != nil {
+		t.Fatalf("empty points = %v, %v", pts, err)
+	}
+}

@@ -5,21 +5,31 @@
 // Usage:
 //
 //	whisper [-bench name] [-clients n] [-ops n] [-seed n] [-parallel n] [-trace dir] [-table1]
+//	        [-metrics out.json] [-debug-addr :6060]
 //
 // With no -bench, the whole suite runs, up to -parallel benchmarks at a
 // time (default: one worker per CPU). Each run owns its own simulated
 // device and scheduler and is seeded independently, so the output is
-// byte-identical to -parallel=1 for a fixed seed.
+// byte-identical to -parallel=1 for a fixed seed — with or without
+// -metrics, which only snapshots counters after the runs finish.
+//
+// -debug-addr serves net/http/pprof and expvar (the live metrics snapshot
+// is published as the "whisper" expvar) for profiling long sweeps.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
 
 	"github.com/whisper-pm/whisper"
+	"github.com/whisper-pm/whisper/internal/cliutil"
+	"github.com/whisper-pm/whisper/internal/obs"
 )
 
 func main() {
@@ -30,7 +40,22 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent benchmark runs (1 = serial)")
 	traceDir := flag.String("trace", "", "directory to save raw traces")
 	table1 := flag.Bool("table1", false, "print only the Table 1 epoch-rate rows")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// The metrics registry is atomic end to end, so scraping it while
+		// benchmarks run is safe and does not perturb them.
+		expvar.Publish("whisper", expvar.Func(func() any {
+			return obs.Default().Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "whisper: debug server:", err)
+			}
+		}()
+	}
 
 	cfg := whisper.Config{Clients: *clients, Ops: *ops, Seed: *seed}
 
@@ -73,6 +98,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if err := cliutil.WriteMetrics(*metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "whisper:", err)
+		os.Exit(1)
 	}
 }
 

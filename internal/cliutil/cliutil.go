@@ -1,0 +1,32 @@
+// Package cliutil holds small helpers shared by the whisper command-line
+// tools (cmd/whisper, cmd/wanalyze, cmd/wcrash, cmd/hopssim).
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/whisper-pm/whisper/internal/obs"
+)
+
+// WriteMetrics snapshots the process-wide metrics registry and writes it
+// as indented JSON to path. An empty path is a no-op, so commands can pass
+// their -metrics flag value straight through. Errors name the path — the
+// caller only adds its command prefix.
+func WriteMetrics(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	werr := obs.Default().Snapshot().WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("write metrics %s: %w", path, werr)
+	}
+	return nil
+}

@@ -1,8 +1,10 @@
 package crashcheck
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"github.com/whisper-pm/whisper/internal/apps/ctree"
@@ -38,6 +40,19 @@ var registry = []entry{
 	{"nfs", "pmfs", func() App { return fsapps.NewCrashApp("nfs") }},
 	{"exim", "pmfs", func() App { return fsapps.NewCrashApp("exim") }},
 	{"mysql", "pmfs", func() App { return fsapps.NewCrashApp("mysql") }},
+}
+
+// sortedKeys returns m's keys in ascending order. Oracle loops that report
+// the FIRST mismatching key must walk the key space in a fixed order — a
+// bare Go map range would make the violation message (and hence the
+// checker's output) depend on map iteration order.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // Apps returns the registered application names in suite order.
@@ -179,7 +194,7 @@ func (a *u64App) Check() error {
 	if err := a.kv.CheckInvariants(0); err != nil {
 		return err
 	}
-	for key := range a.touched {
+	for _, key := range sortedKeys(a.touched) {
 		got, ok := a.kv.Get(0, key)
 		if p := a.pending; p != nil && p.key == key {
 			okBefore := ok == p.beforeOk && (!ok || got == p.before)
@@ -329,7 +344,7 @@ func (a *strApp) Check() error {
 	if err := a.kv.check(); err != nil {
 		return err
 	}
-	for key := range a.touched {
+	for _, key := range sortedKeys(a.touched) {
 		got, ok := a.kv.get(0, key)
 		if p := a.pending; p != nil && p.key == key {
 			okBefore := ok == p.beforeOk && (!ok || got == p.before)
@@ -515,7 +530,7 @@ func (a *nstoreApp) Check() error {
 	// An in-flight transaction must land entirely before or entirely
 	// after: mixing rows from both sides breaks OPTWAL atomicity.
 	matchBefore, matchAfter := true, true
-	for key := range a.touched {
+	for _, key := range sortedKeys(a.touched) {
 		if p != nil {
 			if before, inflight := p.before[key]; inflight {
 				if !a.rowMatches(key, before) {
@@ -625,7 +640,8 @@ func (a *echoApp) Check() error {
 	}
 	if a.pending == nil {
 		// Diagnose the mismatch precisely when no batch was in flight.
-		for key, want := range a.model {
+		for _, key := range sortedKeys(a.model) {
+			want := a.model[key]
 			got, ok := a.st.Get(0, key)
 			if !ok || got != want {
 				return fmt.Errorf("key %s: recovered (%d,%v), model wants %d", key, got, ok, want)
@@ -819,7 +835,7 @@ func (a *vacationApp) compare(m *vacModel) error {
 			}
 		}
 	}
-	for c := range a.customers {
+	for _, c := range sortedKeys(a.customers) {
 		if got, want := a.mgr.Reservations(0, c), len(m.resv[c]); got != want {
 			return fmt.Errorf("customer %d: recovered %d reservations, model %d", c, got, want)
 		}

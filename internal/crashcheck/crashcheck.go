@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/whisper-pm/whisper/internal/obs"
 	"github.com/whisper-pm/whisper/internal/persist"
 	"github.com/whisper-pm/whisper/internal/pmem"
 	"github.com/whisper-pm/whisper/internal/trace"
@@ -180,6 +181,12 @@ func CheckAll(cfg Config) ([]Result, error) {
 func checkEntry(ent entry, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	res := Result{App: ent.name}
+	labels := obs.Labels{"app": ent.name}
+	cells := obs.Default().Counter("crashcheck_cells_total", labels)
+	violations := obs.Default().Counter("crashcheck_violations_total", labels)
+	// Oracle checks are wall-clock work (no simulated time): microsecond
+	// buckets from 1 µs to ~32 ms.
+	oracleUS := obs.Default().Histogram("crashcheck_oracle_us", labels, obs.ExpBuckets(1, 2, 16)...)
 	start := time.Now()
 	for _, seed := range cfg.Seeds {
 		golden, err := goldenRun(ent, cfg, seed)
@@ -189,7 +196,9 @@ func checkEntry(ent entry, cfg Config) (Result, error) {
 		for _, point := range cfg.Points {
 			for _, mode := range cfg.Modes {
 				res.Cells++
-				if err := runCell(ent, cfg, seed, point, mode, golden); err != nil {
+				cells.Inc()
+				if err := runCell(ent, cfg, seed, point, mode, golden, oracleUS); err != nil {
+					violations.Inc()
 					res.Violations = append(res.Violations, Violation{
 						App: ent.name, Mode: mode, Seed: seed, Point: point, Err: err,
 					})
@@ -228,7 +237,9 @@ func goldenRun(ent entry, cfg Config, seed int64) ([]int, error) {
 // freeze and crash the device, reboot, recover, check. A panic out of
 // Recover or Check counts as a violation (a corrupted image may legally
 // make recovery code blow up — that is a detection, not a checker crash).
-func runCell(ent entry, cfg Config, seed int64, point int, mode Mode, golden []int) (err error) {
+// oracleUS, when non-nil, records the wall-clock microseconds the oracle
+// comparison took.
+func runCell(ent entry, cfg Config, seed int64, point int, mode Mode, golden []int, oracleUS *obs.Histogram) (err error) {
 	frozen, app, rt := executeToCrash(ent, cfg, seed, point, mode, golden)
 	frozen.Crash(deviceMode(mode), crashSeed(seed, point, mode))
 	defer func() {
@@ -238,7 +249,10 @@ func runCell(ent entry, cfg Config, seed int64, point int, mode Mode, golden []i
 	}()
 	rt.Reboot(frozen)
 	app.Recover()
-	return app.Check()
+	checkStart := time.Now()
+	err = app.Check()
+	oracleUS.Observe(uint64(time.Since(checkStart).Microseconds()))
+	return err
 }
 
 // executeToCrash builds the application, runs it up to the crash point and

@@ -29,11 +29,13 @@ type Config struct {
 	// PBEntries is the per-thread persist buffer capacity (32 in §6.4).
 	PBEntries int
 	// DrainAt is the occupancy at which background flushing is launched
-	// (16 in §6.4). The timing replay models an eager drain engine (the
-	// write queues accept entries as soon as the MCs have capacity), which
-	// is equivalent to DrainAt=1 and an upper bound on the paper's lazier
-	// launch policy; the field is kept so ablations can sweep the
-	// configuration space the paper describes.
+	// (16 in §6.4). In the timing replay, closed epochs always start
+	// draining at the fence that closed them (BEP allows nothing earlier
+	// and delaying them buys nothing); DrainAt governs the OPEN epoch:
+	// when a thread's buffer occupancy reaches DrainAt, the drain engine
+	// force-closes (epoch-splits) the in-flight epoch and drains it too.
+	// DrainAt=1 is a fully eager engine (every store is handed to the
+	// write queues immediately); values are clamped to [1, PBEntries].
 	DrainAt int
 	// MCs is the number of memory controllers (2 in Table 3).
 	MCs int

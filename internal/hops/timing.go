@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
 
@@ -57,6 +58,29 @@ type Result struct {
 	DFences int
 }
 
+// ReplayObs carries optional observability instruments for a replay. All
+// fields may be nil (the zero ReplayObs disables everything): instruments
+// record into the obs layer and never influence the modelled timing.
+type ReplayObs struct {
+	// Occupancy samples the persist-buffer occupancy (scheduled + open
+	// entries) after each buffered store for the HOPS models, and the
+	// pending-line set size at each fence for the x86 models.
+	Occupancy *obs.Histogram
+	// DrainStall records the cycles of each nonzero stall: full-PB
+	// foreground drains and dfence waits under HOPS, fence drains on x86.
+	DrainStall *obs.Histogram
+}
+
+// pbState is one thread's persist buffer in the timing replay. done holds
+// completion times of entries already handed to the background drain
+// engine (FIFO, nondecreasing); open counts entries of the current epoch
+// still held in the buffer — BEP forbids draining an epoch before it
+// closes, so they have no completion time yet.
+type pbState struct {
+	done []mem.Cycles
+	open int
+}
+
 // Replay reruns tr's instruction stream under the given persistence model.
 //
 // The trace was produced by an execution whose clock charged each event a
@@ -72,6 +96,13 @@ type Result struct {
 // (durability at commit) and fences outside any transaction are
 // conservatively dfences; all other fences become ofences (Figure 8).
 func Replay(tr *trace.Trace, model Model, cfg Config, lat mem.Latency) Result {
+	return ReplayObserved(tr, model, cfg, lat, ReplayObs{})
+}
+
+// ReplayObserved is Replay with observability instruments attached. The
+// instruments are pure outputs: ReplayObserved(tr, m, cfg, lat, ro) returns
+// exactly what Replay(tr, m, cfg, lat) returns.
+func ReplayObserved(tr *trace.Trace, model Model, cfg Config, lat mem.Latency, ro ReplayObs) Result {
 	res := Result{Model: model}
 	dfence := markDurabilityFences(tr)
 
@@ -91,9 +122,16 @@ func Replay(tr *trace.Trace, model Model, cfg Config, lat mem.Latency) Result {
 		return p
 	}
 
-	// Per-thread HOPS persist buffers: completion times of buffered
-	// entries (FIFO), rate-limited by the MC drain interval.
-	pbs := make(map[int32][]mem.Cycles)
+	// Per-thread HOPS persist buffers.
+	pbs := make(map[int32]*pbState)
+	getPB := func(tid int32) *pbState {
+		pb := pbs[tid]
+		if pb == nil {
+			pb = &pbState{}
+			pbs[tid] = pb
+		}
+		return pb
+	}
 
 	persistLat := lat.PMCycles
 	if model == X86PWQ || model == HOPSPWQ {
@@ -106,6 +144,39 @@ func Replay(tr *trace.Trace, model Model, cfg Config, lat mem.Latency) Result {
 	drainInterval := mem.Cycles(int(persistLat) / (cfg.MCs * pipe))
 	if drainInterval == 0 {
 		drainInterval = 1
+	}
+
+	// DrainAt is the occupancy at which the drain engine force-closes
+	// (epoch-splits) the OPEN epoch to start background flushing early;
+	// closed epochs always drain in the background from the fence that
+	// closed them. Clamp to [1, PBEntries]: 1 = fully eager (every store
+	// is handed to the drain engine immediately, the pre-sweep behaviour),
+	// PBEntries = drain only on fences or a full buffer.
+	drainAt := cfg.DrainAt
+	if drainAt <= 0 {
+		drainAt = 1
+	}
+	if drainAt > cfg.PBEntries {
+		drainAt = cfg.PBEntries
+	}
+
+	// schedule hands every open-epoch entry to the background drain
+	// engine: the first completes a full persist latency from now, the
+	// rest stream behind it at the MC drain interval.
+	schedule := func(pb *pbState, now mem.Cycles) {
+		for ; pb.open > 0; pb.open-- {
+			completion := now + persistLat
+			if n := len(pb.done); n > 0 && pb.done[n-1]+drainInterval > completion {
+				completion = pb.done[n-1] + drainInterval
+			}
+			pb.done = append(pb.done, completion)
+		}
+	}
+	// retire drops entries whose background drain has completed.
+	retire := func(pb *pbState, now mem.Cycles) {
+		for len(pb.done) > 0 && pb.done[0] <= now {
+			pb.done = pb.done[1:]
+		}
 	}
 
 	ooo := mem.Cycles(cfg.OOOWidth)
@@ -156,25 +227,27 @@ func Replay(tr *trace.Trace, model Model, cfg Config, lat mem.Latency) Result {
 					}
 				}
 			case HOPSNVM, HOPSPWQ:
-				pb := pbs[e.TID]
+				pb := getPB(e.TID)
 				for range mem.Lines(e.Addr, int(e.Size)) {
-					// Retire entries completed in the background.
-					for len(pb) > 0 && pb[0] <= now {
-						pb = pb[1:]
-					}
-					if len(pb) >= cfg.PBEntries {
-						stall := pb[0] - now
+					retire(pb, now)
+					if len(pb.done)+pb.open >= cfg.PBEntries {
+						// Full PB: force-close the open epoch and stall
+						// until the head entry drains.
+						schedule(pb, now)
+						stall := pb.done[0] - now
 						now += stall
 						res.StallCycles += stall
-						pb = pb[1:]
+						ro.DrainStall.Observe(uint64(stall))
+						pb.done = pb.done[1:]
 					}
-					completion := now + persistLat
-					if len(pb) > 0 && pb[len(pb)-1]+drainInterval > completion {
-						completion = pb[len(pb)-1] + drainInterval
+					pb.open++
+					if pb.open >= drainAt {
+						// Occupancy hit the launch threshold: epoch-split
+						// the open epoch and drain it in the background.
+						schedule(pb, now)
 					}
-					pb = append(pb, completion)
+					ro.Occupancy.Observe(uint64(len(pb.done) + pb.open))
 				}
-				pbs[e.TID] = pb
 			case Ideal:
 				// No persistence bookkeeping at all.
 			}
@@ -198,25 +271,30 @@ func Replay(tr *trace.Trace, model Model, cfg Config, lat mem.Latency) Result {
 			res.Fences++
 			switch model {
 			case X86NVM, X86PWQ:
-				stall := x86FenceCost(len(getSet(modelPending, e.TID)), persistLat, drainInterval)
+				n := len(getSet(modelPending, e.TID))
+				ro.Occupancy.Observe(uint64(n))
+				stall := x86FenceCost(n, persistLat, drainInterval)
 				now += stall
 				res.StallCycles += stall
+				ro.DrainStall.Observe(uint64(stall))
 				delete(modelPending, e.TID)
 			case HOPSNVM, HOPSPWQ:
 				now++ // TS register bump
+				pb := getPB(e.TID)
+				retire(pb, now)
+				// The fence closes the epoch; its entries may now drain,
+				// so hand them to the background engine (BEP rule: epochs
+				// drain when closed, an ofence never stalls for them).
+				schedule(pb, now)
 				if dfence[i] {
 					res.DFences++
-					pb := pbs[e.TID]
-					for len(pb) > 0 && pb[0] <= now {
-						pb = pb[1:]
-					}
-					if len(pb) > 0 {
-						stall := pb[len(pb)-1] - now
+					if len(pb.done) > 0 {
+						stall := pb.done[len(pb.done)-1] - now
 						now += stall
 						res.StallCycles += stall
-						pb = pb[:0]
+						ro.DrainStall.Observe(uint64(stall))
+						pb.done = pb.done[:0]
 					}
-					pbs[e.TID] = pb
 				}
 			case Ideal:
 				now++
@@ -292,10 +370,27 @@ func markDurabilityFences(tr *trace.Trace) map[int]bool {
 // Normalized replays tr under every model and returns runtimes normalized
 // to the x86-64 (NVM) baseline — the exact presentation of Figure 10.
 func Normalized(tr *trace.Trace, cfg Config, lat mem.Latency) map[Model]float64 {
-	base := Replay(tr, X86NVM, cfg, lat)
+	return NormalizedObserved(tr, cfg, lat, nil)
+}
+
+// NormalizedObserved is Normalized with per-model observability: when
+// instruments is non-nil, instruments(m) supplies the ReplayObs for each
+// model's replay. Instruments never change the returned ratios.
+func NormalizedObserved(tr *trace.Trace, cfg Config, lat mem.Latency, instruments func(Model) ReplayObs) map[Model]float64 {
+	obsFor := func(m Model) ReplayObs {
+		if instruments == nil {
+			return ReplayObs{}
+		}
+		return instruments(m)
+	}
+	base := ReplayObserved(tr, X86NVM, cfg, lat, obsFor(X86NVM))
 	out := make(map[Model]float64, len(Models))
+	out[X86NVM] = 1.0
 	for _, m := range Models {
-		r := Replay(tr, m, cfg, lat)
+		if m == X86NVM {
+			continue
+		}
+		r := ReplayObserved(tr, m, cfg, lat, obsFor(m))
 		out[m] = float64(r.Cycles) / float64(base.Cycles)
 	}
 	return out

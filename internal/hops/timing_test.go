@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
 
@@ -159,5 +160,99 @@ func TestModelString(t *testing.T) {
 	}
 	if Model(99).String() == "" {
 		t.Error("unknown model name empty")
+	}
+}
+
+// bigEpochTrace builds transactions whose single epoch touches many lines
+// before its fence — the workload shape where the DrainAt launch policy
+// matters (small epochs close before ever reaching the threshold).
+func bigEpochTrace(n, linesPerTx int) *trace.Trace {
+	tr := &trace.Trace{App: "synthetic", Layer: "native", Threads: 1}
+	at := mem.Time(0)
+	add := func(k trace.Kind, a mem.Addr, size uint32, dt mem.Time) {
+		at += dt
+		tr.Append(trace.Event{Kind: k, TID: 0, Time: at, Addr: a, Size: size})
+	}
+	for i := 0; i < n; i++ {
+		add(trace.KTxBegin, 0, 0, 1)
+		for l := 0; l < linesPerTx; l++ {
+			a := pm + mem.Addr((i*linesPerTx+l)*64)
+			add(trace.KStore, a, 8, 10)
+			add(trace.KFlush, a, 8, 5)
+		}
+		add(trace.KFence, 0, 0, 85)
+		add(trace.KTxEnd, 0, 0, 1)
+	}
+	return tr
+}
+
+// TestDrainAtSweep proves the launch-policy knob is wired into the replay:
+// delaying the background drain can only delay completions, so modelled
+// cycles are nondecreasing in DrainAt, and on a big-epoch workload the
+// fully-lazy policy is strictly slower than the fully-eager one.
+func TestDrainAtSweep(t *testing.T) {
+	tr := bigEpochTrace(50, 24)
+	lat := mem.DefaultLatency()
+	cfg := DefaultConfig()
+	var prev mem.Cycles
+	for i, drainAt := range []int{1, 2, 4, 8, 16, 32} {
+		cfg.DrainAt = drainAt
+		r := Replay(tr, HOPSNVM, cfg, lat)
+		if i > 0 && r.Cycles < prev {
+			t.Errorf("DrainAt=%d ran in %d cycles, faster than a more eager policy (%d)",
+				drainAt, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+	cfg.DrainAt = 1
+	eager := Replay(tr, HOPSNVM, cfg, lat)
+	cfg.DrainAt = cfg.PBEntries
+	lazy := Replay(tr, HOPSNVM, cfg, lat)
+	if lazy.Cycles <= eager.Cycles {
+		t.Errorf("DrainAt=%d (%d cycles) not slower than DrainAt=1 (%d cycles): knob has no effect",
+			cfg.PBEntries, lazy.Cycles, eager.Cycles)
+	}
+}
+
+// TestDrainAtClamped pins the out-of-range handling: non-positive values
+// behave as 1, values above PBEntries behave as PBEntries.
+func TestDrainAtClamped(t *testing.T) {
+	tr := bigEpochTrace(20, 24)
+	lat := mem.DefaultLatency()
+	run := func(drainAt int) Result {
+		cfg := DefaultConfig()
+		cfg.DrainAt = drainAt
+		return Replay(tr, HOPSNVM, cfg, lat)
+	}
+	if got, want := run(0), run(1); got != want {
+		t.Errorf("DrainAt=0 -> %+v, want DrainAt=1 behaviour %+v", got, want)
+	}
+	if got, want := run(-3), run(1); got != want {
+		t.Errorf("DrainAt=-3 -> %+v, want DrainAt=1 behaviour %+v", got, want)
+	}
+	if got, want := run(1000), run(DefaultConfig().PBEntries); got != want {
+		t.Errorf("DrainAt=1000 -> %+v, want DrainAt=PBEntries behaviour %+v", got, want)
+	}
+}
+
+// TestReplayObservedMatchesReplay pins that attaching instruments never
+// perturbs the modelled timing, and that the instruments actually record.
+func TestReplayObservedMatchesReplay(t *testing.T) {
+	tr := txTrace(50, 6)
+	lat := mem.DefaultLatency()
+	cfg := DefaultConfig()
+	for _, m := range Models {
+		plain := Replay(tr, m, cfg, lat)
+		ro := ReplayObs{
+			Occupancy:  obs.NewHistogram(obs.ExpBuckets(1, 2, 8)...),
+			DrainStall: obs.NewHistogram(obs.ExpBuckets(1, 2, 12)...),
+		}
+		observed := ReplayObserved(tr, m, cfg, lat, ro)
+		if plain != observed {
+			t.Errorf("%v: observed replay diverged: %+v vs %+v", m, observed, plain)
+		}
+		if m != Ideal && ro.Occupancy.Count() == 0 {
+			t.Errorf("%v: occupancy histogram recorded nothing", m)
+		}
 	}
 }

@@ -1,0 +1,180 @@
+// Package obs is the observability layer of the simulated PM stack: atomic
+// counters, gauges and fixed-bucket histograms, collected in a labelled
+// registry that snapshots to JSON.
+//
+// The design goals, in order:
+//
+//  1. Zero dependencies — standard library only, like the rest of the repo.
+//  2. Race-free by construction — every instrument is a set of atomics, so
+//     the parallel suite runner and a concurrent scraper (expvar/pprof)
+//     never need a lock on the hot path.
+//  3. Free when absent — all instrument methods are nil-receiver-safe, so
+//     components hold plain pointers and a disabled metric costs one
+//     predictable branch (see BenchmarkDisabledCounterInc: well under the
+//     2 ns/op budget).
+//  4. Deterministic output — snapshot keys are canonical ("name{k=v,...}"
+//     with sorted label keys) and encoding/json sorts map keys, so two
+//     snapshots of equal state are byte-identical.
+//
+// Instruments never touch the simulated clock, the trace, or the device,
+// so enabling metrics cannot perturb a run: suite output is byte-identical
+// with and without them.
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op on every method.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (zero for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use;
+// a nil *Gauge is a no-op on every method.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the value by d (d may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (zero for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of uint64 observations. Bucket i
+// counts observations v with v <= Bounds[i] (and v > Bounds[i-1]); one
+// implicit overflow bucket counts everything above the last bound. All
+// updates are atomic; a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1, last = overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// NewHistogram creates a histogram over the given strictly ascending upper
+// bounds. It panics on unsorted or empty bounds — bucket layouts are
+// compile-time decisions, not data.
+func NewHistogram(bounds ...uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent observations
+// may land between bucket reads; each bucket value is itself consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// ExpBuckets returns n strictly ascending bounds starting at start and
+// multiplying by factor: convenient for latency/stall-cycle histograms.
+func ExpBuckets(start, factor uint64, n int) []uint64 {
+	if start == 0 || factor < 2 || n <= 0 {
+		panic("obs: ExpBuckets needs start>0, factor>=2, n>0")
+	}
+	out := make([]uint64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Error("nil counter value not zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge value not zero")
+	}
+	var h *Histogram
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded observations")
+	}
+	if !h.Snapshot().equalCounts(nil) {
+		t.Error("nil histogram snapshot not empty")
+	}
+	var r *Registry
+	if r.Counter("x", nil) != nil || r.Gauge("x", nil) != nil || r.Histogram("x", nil, 1) != nil {
+		t.Error("nil registry returned non-nil instruments")
+	}
+	if !r.Snapshot().Empty() {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func (s HistogramSnapshot) equalCounts(want []uint64) bool {
+	if len(want) == 0 {
+		return len(s.Counts) == 0
+	}
+	if len(s.Counts) != len(want) {
+		return false
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHistogramBucketBoundaries pins the bucket edge contract: bucket i
+// holds v <= bounds[i], the overflow bucket holds v > bounds[last], and a
+// value exactly on a bound lands in that bound's bucket, not the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []uint64{0, 1} { // <= 1
+		h.Observe(v)
+	}
+	for _, v := range []uint64{2, 10} { // (1, 10]
+		h.Observe(v)
+	}
+	for _, v := range []uint64{11, 99, 100} { // (10, 100]
+		h.Observe(v)
+	}
+	for _, v := range []uint64{101, 1 << 40} { // overflow
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if !s.equalCounts([]uint64{2, 2, 3, 2}) {
+		t.Fatalf("bucket counts = %v, want [2 2 3 2]", s.Counts)
+	}
+	if s.Count != 9 {
+		t.Fatalf("Count = %d, want 9", s.Count)
+	}
+	wantSum := uint64(0 + 1 + 2 + 10 + 11 + 99 + 100 + 101 + (1 << 40))
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]uint64{{}, {5, 5}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []uint64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge and one histogram
+// from many goroutines; under -race this doubles as the no-data-race proof
+// the parallel suite runner relies on.
+func TestConcurrentIncrements(t *testing.T) {
+	const goroutines = 8
+	const perG = 10000
+	reg := NewRegistry()
+	c := reg.Counter("hits", Labels{"app": "test"})
+	g := reg.Gauge("depth", nil)
+	h := reg.Histogram("lat", nil, 1, 8, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(j % 100))
+				// Lookups race against updates too.
+				if j%1000 == 0 {
+					reg.Counter("hits", Labels{"app": "test"}).Add(0)
+					reg.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := Key("m", Labels{"b": "2", "a": "1"})
+	b := Key("m", Labels{"a": "1", "b": "2"})
+	if a != b || a != "m{a=1,b=2}" {
+		t.Fatalf("keys not canonical: %q vs %q", a, b)
+	}
+	if Key("m", nil) != "m" {
+		t.Fatalf("unlabelled key mangled: %q", Key("m", nil))
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x", Labels{"a": "1"})
+	c2 := reg.Counter("x", Labels{"a": "1"})
+	if c1 != c2 {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	h1 := reg.Histogram("h", nil, 1, 2)
+	h2 := reg.Histogram("h", nil, 5, 50) // bounds ignored on reuse
+	if h1 != h2 {
+		t.Error("same histogram key returned distinct histograms")
+	}
+}
+
+// TestSnapshotGolden pins the exact JSON serialization of a registry
+// snapshot against a golden file; run with -update to regenerate.
+func TestSnapshotGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pmem_flushes_total", Labels{"app": "echo"}).Add(128)
+	reg.Counter("pmem_fences_total", Labels{"app": "echo"}).Add(64)
+	reg.Gauge("suite_wall_us", Labels{"app": "echo"}).Set(1500)
+	h := reg.Histogram("persist_epoch_lines", Labels{"app": "echo"}, 1, 2, 4)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot JSON drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() []byte {
+		reg := NewRegistry()
+		for _, app := range []string{"zebra", "alpha", "mid"} {
+			reg.Counter("c", Labels{"app": app}).Add(7)
+			reg.Histogram("h", Labels{"app": app}, 1, 2).Observe(1)
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := build()
+	for i := 0; i < 20; i++ {
+		if !bytes.Equal(build(), first) {
+			t.Fatalf("snapshot JSON differed on rebuild %d", i)
+		}
+	}
+}
+
+// BenchmarkDisabledCounterInc proves the disabled path (nil instrument)
+// stays within the <=2 ns/op budget the always-on layer is sized for.
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterInc is the enabled-path cost: one uncontended atomic add.
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled-path histogram cost.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(ExpBuckets(1, 2, 16)...)
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i & 1023))
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
 	"github.com/whisper-pm/whisper/internal/pmem"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
@@ -57,6 +58,13 @@ type Runtime struct {
 	threads []*Thread
 	vnext   mem.Addr // volatile address bump pointer (below mem.PMBase)
 	onEvent func(trace.Event)
+
+	// epochLines records the size, in cache-line touches, of every epoch
+	// the run closes (the paper's Figure 3 dimension). Instruments come
+	// from the process-wide obs registry, are cached here once per run,
+	// and never touch the simulated clock or trace — metrics on or off,
+	// the run is byte-identical.
+	epochLines *obs.Histogram
 }
 
 // NewRuntime creates a runtime for app running under the given access layer
@@ -73,9 +81,15 @@ func NewRuntime(app, layer string, nthreads int, cfg Config) *Runtime {
 		cfg:   cfg,
 		vnext: 1 << 20, // leave the low megabyte unused, like a real process
 	}
+	r.epochLines = obs.Default().Histogram("persist_epoch_lines",
+		obs.Labels{"app": app}, 1, 2, 4, 8, 16, 32, 64, 128, 256)
 	r.threads = make([]*Thread, nthreads)
 	for i := range r.threads {
-		r.threads[i] = &Thread{rt: r, id: pmem.ThreadID(i)}
+		r.threads[i] = &Thread{
+			rt: r, id: pmem.ThreadID(i),
+			orderingPoints: obs.Default().Counter("persist_ordering_points_total",
+				obs.Labels{"app": app, "thread": fmt.Sprint(i)}),
+		}
 	}
 	return r
 }
@@ -109,6 +123,7 @@ func (r *Runtime) Crash(mode pmem.CrashMode, seed int64) {
 	for _, th := range r.threads {
 		th.txDepth = 0
 		th.epochOpen = false
+		th.epochLineTouches = 0 // the open epoch never closed; don't record it
 	}
 }
 
@@ -129,6 +144,7 @@ func (r *Runtime) Reboot(dev *pmem.Device) {
 	for _, th := range r.threads {
 		th.txDepth = 0
 		th.epochOpen = false
+		th.epochLineTouches = 0
 	}
 }
 
@@ -143,6 +159,14 @@ type Thread struct {
 	// epochOpen tracks whether the thread has issued a PM store since its
 	// last fence; used by assertions in tests.
 	epochOpen bool
+
+	// epochLineTouches counts cache-line touches by PM stores in the
+	// current epoch; observed into the runtime's epoch-size histogram at
+	// the fence that closes the epoch.
+	epochLineTouches uint64
+	// orderingPoints counts the thread's fences (the paper's ordering
+	// points, §5.1).
+	orderingPoints *obs.Counter
 }
 
 // ID returns the thread's index.
@@ -173,6 +197,7 @@ func (t *Thread) Store(a mem.Addr, data []byte) {
 	t.tick(t.rt.cfg.Latency.StoreCycles)
 	t.emit(trace.KStore, a, len(data))
 	t.epochOpen = true
+	t.epochLineTouches += uint64(mem.LinesSpanned(a, len(data)))
 }
 
 // StoreNT performs a non-temporal store of data at a (PM_MOVNTI).
@@ -181,6 +206,7 @@ func (t *Thread) StoreNT(a mem.Addr, data []byte) {
 	t.tick(t.rt.cfg.Latency.StoreCycles + 1)
 	t.emit(trace.KStoreNT, a, len(data))
 	t.epochOpen = true
+	t.epochLineTouches += uint64(mem.LinesSpanned(a, len(data)))
 }
 
 // Load reads size bytes at a.
@@ -215,6 +241,11 @@ func (t *Thread) Fence() {
 	t.tick(cost)
 	t.emit(trace.KFence, 0, 0)
 	t.epochOpen = false
+	t.orderingPoints.Inc()
+	if t.epochLineTouches > 0 {
+		t.rt.epochLines.Observe(t.epochLineTouches)
+		t.epochLineTouches = 0
+	}
 }
 
 // TxBegin marks the start of a durable transaction. Transactions may not

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"github.com/whisper-pm/whisper/internal/mem"
 )
@@ -106,6 +107,50 @@ type Stats struct {
 	Crashes      uint64 // injected crashes
 }
 
+// deviceStats is the device's internal counter block. Every field is
+// atomic so that Stats/ResetStats may be called from a metrics scraper (or
+// the parallel suite runner's bookkeeping) concurrently with the single
+// goroutine driving device operations, without a data race. Hot paths
+// accumulate per-call tallies locally and publish them with one atomic add
+// per counter, so the store path pays at most two uncontended atomic adds
+// per operation regardless of how many lines it spans.
+type deviceStats struct {
+	stores       atomic.Uint64
+	ntStores     atomic.Uint64
+	loads        atomic.Uint64
+	flushes      atomic.Uint64
+	fences       atomic.Uint64
+	linesPersist atomic.Uint64
+	bytesStored  atomic.Uint64
+	crashes      atomic.Uint64
+}
+
+// load copies the counters into the public value struct.
+func (s *deviceStats) load() Stats {
+	return Stats{
+		Stores:       s.stores.Load(),
+		NTStores:     s.ntStores.Load(),
+		Loads:        s.loads.Load(),
+		Flushes:      s.flushes.Load(),
+		Fences:       s.fences.Load(),
+		LinesPersist: s.linesPersist.Load(),
+		BytesStored:  s.bytesStored.Load(),
+		Crashes:      s.crashes.Load(),
+	}
+}
+
+// store overwrites the counters from the public value struct.
+func (s *deviceStats) store(v Stats) {
+	s.stores.Store(v.Stores)
+	s.ntStores.Store(v.NTStores)
+	s.loads.Store(v.Loads)
+	s.flushes.Store(v.Flushes)
+	s.fences.Store(v.Fences)
+	s.linesPersist.Store(v.LinesPersist)
+	s.bytesStored.Store(v.BytesStored)
+	s.crashes.Store(v.Crashes)
+}
+
 // CrashMode selects the crash adversary.
 type CrashMode int
 
@@ -128,9 +173,12 @@ type threadBuf struct {
 }
 
 // Device is the simulated PM device plus the volatile machinery (caches,
-// WCBs) in front of it. It is not safe for concurrent use; the
-// deterministic scheduler (internal/sched) serializes all access, and the
-// parallel suite runner gives every run its own Device.
+// WCBs) in front of it. Memory operations are not safe for concurrent use;
+// the deterministic scheduler (internal/sched) serializes all access, and
+// the parallel suite runner gives every run its own Device. The stats
+// counters are the exception: Stats and ResetStats are atomic and may be
+// called from another goroutine (a metrics scraper, the suite runner's
+// bookkeeping) while operations are in flight.
 type Device struct {
 	live    image
 	durable image
@@ -145,7 +193,7 @@ type Device struct {
 	threads []threadBuf
 
 	next  mem.Addr // bump pointer for Map
-	stats Stats
+	stats deviceStats
 }
 
 // New creates an empty device whose persistent range starts at mem.PMBase.
@@ -234,7 +282,7 @@ func checkRange(a mem.Addr, size int) {
 // lucky adversarial eviction).
 func (d *Device) Store(tid ThreadID, a mem.Addr, data []byte) {
 	checkRange(a, len(data))
-	off := 0
+	off, lines := 0, uint64(0)
 	for off < len(data) {
 		ad := a + mem.Addr(off)
 		l := mem.LineOf(ad)
@@ -247,9 +295,10 @@ func (d *Device) Store(tid ThreadID, a mem.Addr, data []byte) {
 			pg.dirty |= 1 << li
 			d.ndirty++
 		}
-		d.stats.Stores++
+		lines++
 	}
-	d.stats.BytesStored += uint64(len(data))
+	d.stats.stores.Add(lines)
+	d.stats.bytesStored.Add(uint64(len(data)))
 }
 
 // StoreNT performs non-temporal stores: the bytes bypass the cache, land in
@@ -261,7 +310,7 @@ func (d *Device) StoreNT(tid ThreadID, a mem.Addr, data []byte) {
 	if w.wcb == nil {
 		w.wcb = make(map[mem.Line]line)
 	}
-	off := 0
+	off, lines := 0, uint64(0)
 	for off < len(data) {
 		ad := a + mem.Addr(off)
 		l := mem.LineOf(ad)
@@ -277,16 +326,17 @@ func (d *Device) StoreNT(tid ThreadID, a mem.Addr, data []byte) {
 			pg.dirty &^= 1 << li
 			d.ndirty--
 		}
-		d.stats.NTStores++
+		lines++
 	}
-	d.stats.BytesStored += uint64(len(data))
+	d.stats.ntStores.Add(lines)
+	d.stats.bytesStored.Add(uint64(len(data)))
 }
 
 // Load reads size bytes at a from the live image.
 func (d *Device) Load(tid ThreadID, a mem.Addr, size int) []byte {
 	checkRange(a, size)
 	out := make([]byte, size)
-	off := 0
+	off, lines := 0, uint64(0)
 	for off < size {
 		ad := a + mem.Addr(off)
 		l := mem.LineOf(ad)
@@ -297,8 +347,9 @@ func (d *Device) Load(tid ThreadID, a mem.Addr, size int) []byte {
 			// Unwritten memory reads as zero; skip the copy.
 			off += mem.LineSize - start
 		}
-		d.stats.Loads++
+		lines++
 	}
+	d.stats.loads.Add(lines)
 	return out
 }
 
@@ -316,9 +367,9 @@ func (d *Device) Flush(tid ThreadID, a mem.Addr, size int) {
 	for i := 0; i < n; i++ {
 		pg := d.livePage(l)
 		b.flushed[l] = pg.data[mem.PageIndex(l)]
-		d.stats.Flushes++
 		l++
 	}
+	d.stats.flushes.Add(uint64(n))
 }
 
 // Fence issues SFENCE for tid: all of the thread's outstanding flushes and
@@ -338,7 +389,7 @@ func (d *Device) Fence(tid ThreadID) {
 		}
 		clear(b.wcb)
 	}
-	d.stats.Fences++
+	d.stats.fences.Add(1)
 }
 
 func (d *Device) persistLine(l mem.Line, snap line) {
@@ -347,7 +398,7 @@ func (d *Device) persistLine(l mem.Line, snap line) {
 	lp := d.livePage(l)
 	li := mem.PageIndex(l)
 	d.durablePage(l).data[li] = snap
-	d.stats.LinesPersist++
+	d.stats.linesPersist.Add(1)
 	// If the live image still matches what we just persisted, the line is
 	// clean again. A later cacheable store may have re-dirtied it; compare
 	// to be exact.
@@ -413,7 +464,7 @@ func (d *Device) Crash(mode CrashMode, seed int64) {
 	for i := range d.threads {
 		d.threads[i] = threadBuf{}
 	}
-	d.stats.Crashes++
+	d.stats.crashes.Add(1)
 }
 
 // Durable reads size bytes at a from the durable image (what a crash right
@@ -471,11 +522,14 @@ func (d *Device) PendingFlushes(tid ThreadID) int {
 	return len(d.threads[tid].flushed)
 }
 
-// Stats returns a copy of the device counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats returns a copy of the device counters. Safe to call concurrently
+// with device operations (the counters are atomics); the copy is a
+// near-point-in-time view, not a synchronized snapshot.
+func (d *Device) Stats() Stats { return d.stats.load() }
 
-// ResetStats zeroes the device counters.
-func (d *Device) ResetStats() { d.stats = Stats{} }
+// ResetStats zeroes the device counters. Like Stats, it is safe against
+// concurrent device operations.
+func (d *Device) ResetStats() { d.stats.store(Stats{}) }
 
 // Mapped returns the device's bump pointer: the first unmapped persistent
 // address. Together with DurableImage it fully describes the durable state.
@@ -491,8 +545,8 @@ func (d *Device) Clone() *Device {
 		durable: image{pages: make(map[uint64]*page, len(d.durable.pages))},
 		ndirty:  d.ndirty,
 		next:    d.next,
-		stats:   d.stats,
 	}
+	c.stats.store(d.stats.load())
 	for idx, pg := range d.live.pages {
 		cp := *pg
 		c.live.pages[idx] = &cp

@@ -1,0 +1,104 @@
+package whisper
+
+import (
+	"io"
+	"time"
+
+	"github.com/whisper-pm/whisper/internal/obs"
+	"github.com/whisper-pm/whisper/internal/persist"
+)
+
+// HistogramMetric is one histogram in a metrics snapshot: Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramMetric struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+}
+
+// MetricsSnapshot is a point-in-time copy of every metric the stack has
+// recorded this process, keyed by canonical metric name ("name{k=v,...}"
+// with label keys sorted). Marshalling a snapshot of equal state always
+// yields identical bytes.
+//
+// The layers report:
+//
+//   - pmem_*_total{app}: device operation counts (stores, NT stores,
+//     loads, CLWBs, SFENCEs, lines persisted, bytes stored, crashes);
+//   - persist_epoch_lines{app} / persist_ordering_points_total{app,thread}:
+//     epoch sizes in line touches and fences per thread (Figures 3–4);
+//   - hops_pb_occupancy / hops_drain_stall_cycles{app,model}: persist-
+//     buffer pressure in the Figure 10 replay;
+//   - crashcheck_*{app}: cells run, violations, oracle wall-clock;
+//   - suite_*{app}: wall-clock and operation rate per benchmark run.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64          `json:"counters"`
+	Gauges     map[string]int64           `json:"gauges"`
+	Histograms map[string]HistogramMetric `json:"histograms"`
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s MetricsSnapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// WriteJSON writes the snapshot as indented JSON followed by a newline.
+func (s MetricsSnapshot) WriteJSON(w io.Writer) error {
+	return obs.Snapshot{
+		Counters: s.Counters, Gauges: s.Gauges, Histograms: histsToObs(s.Histograms),
+	}.WriteJSON(w)
+}
+
+func histsToObs(in map[string]HistogramMetric) map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot, len(in))
+	for k, h := range in {
+		out[k] = obs.HistogramSnapshot(h)
+	}
+	return out
+}
+
+// Metrics snapshots the process-wide metrics registry. Instruments
+// accumulate across runs; use ResetMetrics for a per-experiment baseline.
+func Metrics() MetricsSnapshot {
+	s := obs.Default().Snapshot()
+	hists := make(map[string]HistogramMetric, len(s.Histograms))
+	for k, h := range s.Histograms {
+		hists[k] = HistogramMetric(h)
+	}
+	return MetricsSnapshot{Counters: s.Counters, Gauges: s.Gauges, Histograms: hists}
+}
+
+// ResetMetrics drops every recorded metric.
+func ResetMetrics() { obs.Default().Reset() }
+
+// publishRunMetrics folds one benchmark run's device counters and wall
+// clock into the process registry. Called after the run completes, so it
+// cannot perturb simulated time or the trace.
+func publishRunMetrics(name string, rt *persist.Runtime, wall time.Duration, ops int) {
+	reg := obs.Default()
+	labels := obs.Labels{"app": name}
+	st := rt.Dev.Stats()
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"pmem_stores_total", st.Stores},
+		{"pmem_nt_stores_total", st.NTStores},
+		{"pmem_loads_total", st.Loads},
+		{"pmem_flushes_total", st.Flushes},
+		{"pmem_fences_total", st.Fences},
+		{"pmem_lines_persisted_total", st.LinesPersist},
+		{"pmem_bytes_stored_total", st.BytesStored},
+		{"pmem_crashes_total", st.Crashes},
+	} {
+		reg.Counter(c.name, labels).Add(c.v)
+	}
+	reg.Counter("suite_runs_total", labels).Inc()
+	reg.Counter("suite_ops_total", labels).Add(uint64(ops))
+	us := wall.Microseconds()
+	reg.Gauge("suite_wall_us", labels).Set(us)
+	if us > 0 {
+		reg.Gauge("suite_ops_per_sec", labels).Set(int64(float64(ops) / wall.Seconds()))
+	}
+}

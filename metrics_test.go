@@ -1,0 +1,106 @@
+package whisper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestMetricsCoverEveryApp pins the tentpole's acceptance contract: running
+// the whole suite leaves non-zero flush and fence counters for every app in
+// the metrics snapshot — the stack is observable end to end.
+func TestMetricsCoverEveryApp(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	if _, err := RunAll(Config{Ops: 5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap := Metrics()
+	for _, name := range Names() {
+		for _, metric := range []string{"pmem_flushes_total", "pmem_fences_total", "pmem_stores_total"} {
+			key := fmt.Sprintf("%s{app=%s}", metric, name)
+			if snap.Counters[key] == 0 {
+				t.Errorf("%s is zero or missing", key)
+			}
+		}
+		if snap.Histograms[fmt.Sprintf("persist_epoch_lines{app=%s}", name)].Count == 0 {
+			t.Errorf("persist_epoch_lines{app=%s} recorded no epochs", name)
+		}
+	}
+}
+
+// TestMetricsDoNotPerturbRuns pins the "byte-identical with metrics on"
+// guarantee at the API level: a run wedged between metric resets and a run
+// feeding a populated registry produce identical traces.
+func TestMetricsDoNotPerturbRuns(t *testing.T) {
+	ResetMetrics()
+	a, err := Run("echo", Config{Clients: 2, Ops: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run on a now-populated registry (instruments hot).
+	b, err := Run("echo", Config{Clients: 2, Ops: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var abuf, bbuf bytes.Buffer
+	if err := a.Trace.Encode(&abuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Trace.Encode(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(abuf.Bytes(), bbuf.Bytes()) {
+		t.Fatal("metrics state changed the recorded trace")
+	}
+	ResetMetrics()
+}
+
+// TestMetricsSnapshotJSONRoundTrips checks the snapshot marshals to
+// parseable JSON with the three top-level sections CI greps for.
+func TestMetricsSnapshotJSONRoundTrips(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	if _, err := Run("hashmap", Config{Clients: 2, Ops: 10, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Metrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.Empty() {
+		t.Fatal("snapshot empty after a run")
+	}
+	if back.Counters["pmem_flushes_total{app=hashmap}"] == 0 {
+		t.Fatal("flush counter missing from round-tripped JSON")
+	}
+}
+
+// TestReportDeterministic20Runs is the map-iteration regression test: the
+// rendered analysis report and the HOPS simulation output must be
+// byte-identical across 20 repeated runs of the same seed.
+func TestReportDeterministic20Runs(t *testing.T) {
+	render := func() string {
+		rep, err := Run("ycsb", Config{Clients: 2, Ops: 20, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := SimulateHOPS(rep.Trace, DefaultHOPSConfig())
+		out := rep.String()
+		for _, m := range HOPSModels() {
+			out += fmt.Sprintf("%s %.6f\n", m, norm[m])
+		}
+		return out
+	}
+	first := render()
+	for i := 1; i < 20; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d diverged:\n%s\nvs first:\n%s", i, got, first)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/whisper-pm/whisper/internal/epoch"
 	"github.com/whisper-pm/whisper/internal/hops"
 	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
 )
 
 // Report is the epoch-level analysis of one benchmark run — every number
@@ -118,10 +119,21 @@ func HOPSModels() []string {
 
 // SimulateHOPS replays the trace under the five Figure 10 persistence
 // models and returns runtimes normalized to the x86-64 (NVM) baseline,
-// keyed by model name.
+// keyed by model name. Each model's persist-buffer occupancy and drain
+// stalls are recorded into the process metrics registry (see Metrics) as
+// hops_pb_occupancy and hops_drain_stall_cycles, labelled {app, model}.
 func SimulateHOPS(t *Trace, cfg HOPSConfig) map[string]float64 {
 	hc := hops.Config{PBEntries: cfg.PBEntries, DrainAt: cfg.DrainAt, MCs: cfg.MemoryControllers}
-	norm := hops.Normalized(t.tr, hc, mem.DefaultLatency())
+	instruments := func(m hops.Model) hops.ReplayObs {
+		labels := obs.Labels{"app": t.tr.App, "model": m.String()}
+		return hops.ReplayObs{
+			Occupancy: obs.Default().Histogram("hops_pb_occupancy", labels,
+				obs.ExpBuckets(1, 2, 8)...),
+			DrainStall: obs.Default().Histogram("hops_drain_stall_cycles", labels,
+				obs.ExpBuckets(1, 2, 14)...),
+		}
+	}
+	norm := hops.NormalizedObserved(t.tr, hc, mem.DefaultLatency(), instruments)
 	out := make(map[string]float64, len(norm))
 	for m, v := range norm {
 		out[m.String()] = v

@@ -20,6 +20,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/whisper-pm/whisper/internal/apps/ctree"
 	"github.com/whisper-pm/whisper/internal/apps/echo"
@@ -241,7 +242,9 @@ func Run(name string, cfg Config) (*Report, error) {
 		ops = b.defaultOps
 	}
 	rt := persist.NewRuntime(b.Name, b.Layer, clients, persist.Config{})
+	start := time.Now()
 	b.run(rt, clients, ops, cfg.Seed)
+	publishRunMetrics(b.Name, rt, time.Since(start), clients*ops)
 	return analyze(&Trace{tr: rt.Trace}), nil
 }
 
