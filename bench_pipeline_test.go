@@ -1,0 +1,271 @@
+package whisper
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/whisper-pm/whisper/internal/epoch"
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// genPipelineTrace synthesizes an n-event trace with the suite's traffic
+// shape — per-thread bursts of small stores closed by fences, transaction
+// markers, occasional flushes and loads — across the given thread count.
+// Deterministic per (n, threads).
+func genPipelineTrace(n, threads int) *trace.Trace {
+	rng := rand.New(rand.NewSource(int64(n)*31 + int64(threads)))
+	tr := &trace.Trace{App: "pipeline", Layer: "native", Threads: threads}
+	clock := mem.Time(1)
+	for len(tr.Events) < n {
+		tid := int32(rng.Intn(threads))
+		clock += mem.Time(rng.Intn(300))
+		base := mem.PMBase + mem.Addr(rng.Intn(1<<14))*mem.LineSize
+		tr.Append(trace.Event{Kind: trace.KTxBegin, TID: tid, Time: clock})
+		epochs := 1 + rng.Intn(3)
+		for e := 0; e < epochs; e++ {
+			stores := 1 + rng.Intn(4)
+			for s := 0; s < stores; s++ {
+				clock += mem.Time(10 + rng.Intn(50))
+				tr.Append(trace.Event{
+					Kind: trace.KStore, TID: tid, Time: clock,
+					Addr: base + mem.Addr(rng.Intn(512)), Size: uint32(8 + rng.Intn(56)),
+				})
+			}
+			clock += mem.Time(5)
+			tr.Append(trace.Event{Kind: trace.KFlush, TID: tid, Time: clock, Addr: base, Size: 64})
+			clock += mem.Time(5)
+			tr.Append(trace.Event{Kind: trace.KFence, TID: tid, Time: clock})
+		}
+		clock += mem.Time(5)
+		tr.Append(trace.Event{Kind: trace.KTxEnd, TID: tid, Time: clock})
+	}
+	tr.Events = tr.Events[:n]
+	return tr
+}
+
+// BenchmarkPipelineAnalyze is the tentpole's headline number: the epoch
+// analysis on a synthetic 8-thread trace, materialized serial walk versus
+// the sharded streaming pipeline. The two produce identical Analysis
+// values (TestStreamMatchesSerialRandom); only the throughput differs.
+func BenchmarkPipelineAnalyze(b *testing.B) {
+	for _, threads := range []int{1, 4, 8} {
+		tr := genPipelineTrace(1_000_000, threads)
+		src := func() trace.EventSource { return trace.NewSliceSource(tr) }
+		b.Run(fmt.Sprintf("materialized/threads%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				epoch.Analyze(tr)
+			}
+			b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+		})
+		b.Run(fmt.Sprintf("stream/threads%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := epoch.AnalyzeStream(src()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+		})
+	}
+}
+
+// BenchmarkTraceCodecV2 measures the chunked codec against v1 on the same
+// synthetic trace.
+func BenchmarkTraceCodecV2(b *testing.B) {
+	tr := genPipelineTrace(1_000_000, 8)
+	var v1, v2 bytes.Buffer
+	if err := trace.Encode(&v1, tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.EncodeV2(&v2, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode/v1", func(b *testing.B) {
+		b.SetBytes(int64(v1.Len()))
+		for i := 0; i < b.N; i++ {
+			var sink countWriter
+			if err := trace.Encode(&sink, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/v2", func(b *testing.B) {
+		b.SetBytes(int64(v2.Len()))
+		for i := 0; i < b.N; i++ {
+			var sink countWriter
+			if err := trace.EncodeV2(&sink, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/v1", func(b *testing.B) {
+		b.SetBytes(int64(v1.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Decode(bytes.NewReader(v1.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/v2", func(b *testing.B) {
+		b.SetBytes(int64(v2.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Decode(bytes.NewReader(v2.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Streaming read: Reader iteration without materializing the slice.
+	b.Run("read/v2", func(b *testing.B) {
+		b.SetBytes(int64(v2.Len()))
+		for i := 0; i < b.N; i++ {
+			rd, err := trace.NewReader(bytes.NewReader(v2.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := rd.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkRunVsRunStream compares end-to-end benchmark execution:
+// materialize-then-analyze versus pipelined streaming analysis.
+func BenchmarkRunVsRunStream(b *testing.B) {
+	for _, name := range []string{"echo", "hashmap"} {
+		b.Run("materialized/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(name, Config{Ops: benchOps, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("stream/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunStream(name, Config{Ops: benchOps, Seed: 1}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// genSource emits a deterministic synthetic event stream without ever
+// materializing it — the "10× trace" for the bounded-memory check.
+type genSource struct {
+	n       int
+	i       int
+	threads int
+	clock   mem.Time
+	rng     *rand.Rand
+}
+
+func (g *genSource) Meta() trace.Meta {
+	return trace.Meta{App: "gen", Layer: "native", Threads: g.threads}
+}
+
+func (g *genSource) Next() (trace.Event, error) {
+	if g.i >= g.n {
+		return trace.Event{}, io.EOF
+	}
+	g.i++
+	g.clock += mem.Time(10 + g.rng.Intn(100))
+	tid := int32(g.i % g.threads)
+	switch g.i % 5 {
+	case 0:
+		return trace.Event{Kind: trace.KFence, TID: tid, Time: g.clock}, nil
+	default:
+		return trace.Event{
+			Kind: trace.KStore, TID: tid, Time: g.clock,
+			Addr: mem.PMBase + mem.Addr(g.rng.Intn(1<<16))*mem.LineSize,
+			Size: 8,
+		}, nil
+	}
+}
+
+func (g *genSource) Volatile() (uint64, uint64) { return 0, 0 }
+
+// TestStreamBoundedMemory drives a trace ~10× the size of the largest
+// suite trace through the streaming analysis and asserts the live heap
+// stays far below what materializing the events would need. 4M events
+// would occupy ≥96 MB as a []trace.Event, live for the whole analysis;
+// the pipeline holds only chunks in flight plus the watermark window of
+// closed epochs. GC is tightened and the heap sampled while the run is
+// in progress, so a materializing implementation cannot hide the slice
+// as collectable garbage.
+func TestStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory ceiling test is slow")
+	}
+	const events = 4_000_000
+	old := debug.SetGCPercent(10)
+	defer debug.SetGCPercent(old)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	a, err := epoch.AnalyzeStream(&genSource{n: events, threads: 8, rng: rand.New(rand.NewSource(7))})
+	close(stop)
+	<-sampled
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEpochs == 0 {
+		t.Fatal("generated stream produced no epochs")
+	}
+
+	// Two cycles so sync.Pool victim caches fully clear before the
+	// retained-heap reading.
+	runtime.GC()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	retained := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	peakGrow := int64(peak.Load()) - int64(before.HeapAlloc)
+	t.Logf("analyzed %d events, %d epochs; peak live heap +%d KB, retained +%d KB (materialized slice alone would be %d KB)",
+		events, a.TotalEpochs, peakGrow/1024, retained/1024, events*24/1024)
+	// The in-flight window is channel depths plus one watermark interval
+	// of closed epochs — allow a generous fraction of the materialized
+	// cost, but well under the full event slice.
+	const limit = int64(events * 24 / 2)
+	if peakGrow > limit {
+		t.Errorf("peak live heap grew %d bytes, want < %d (streaming path is materializing?)", peakGrow, limit)
+	}
+	if retained > limit/4 {
+		t.Errorf("retained heap grew %d bytes after GC, want < %d (pipeline is leaking?)", retained, limit/4)
+	}
+}

@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ops := fs.Int("ops", 0, "operations per client when regenerating")
 	seed := fs.Int64("seed", 1, "workload seed when regenerating")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "max concurrent benchmark runs with -run (1 = serial)")
+	stream := fs.Bool("stream", false, "analyze as a stream: -run pipes each app straight into the sharded analysis, -dir reads traces without materializing them")
 	fig3 := fs.Bool("fig3", false, "print Figure 3 (epochs per transaction)")
 	fig4 := fs.Bool("fig4", false, "print Figure 4 (epoch size distribution)")
 	fig5 := fs.Bool("fig5", false, "print Figure 5 (dependencies)")
@@ -64,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	all := !*fig3 && !*fig4 && !*fig5 && !*amp && !*nti
 
-	reports, err := collect(*runSuite, *dir, *ops, *seed, *parallel)
+	reports, err := collect(*runSuite, *dir, *ops, *seed, *parallel, *stream)
 	if err != nil {
 		fmt.Fprintln(stderr, "wanalyze:", err)
 		return 1
@@ -142,8 +143,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func collect(run bool, dir string, ops int, seed int64, parallel int) ([]*whisper.Report, error) {
+func collect(run bool, dir string, ops int, seed int64, parallel int, stream bool) ([]*whisper.Report, error) {
 	if run {
+		if stream {
+			// Pipe each app's events straight into the sharded analysis;
+			// reports are identical to the materialized path (minus the
+			// retained trace), so every figure below is unchanged.
+			var out []*whisper.Report
+			for _, name := range whisper.Names() {
+				r, err := whisper.RunStream(name, whisper.Config{Ops: ops, Seed: seed}, nil)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}
 		// Suite members are independent runs; regenerate them concurrently.
 		// Reports are identical to serial regeneration for a fixed seed.
 		return whisper.RunAllParallel(whisper.Config{Ops: ops, Seed: seed}, parallel)
@@ -161,12 +176,21 @@ func collect(run bool, dir string, ops int, seed int64, parallel int) ([]*whispe
 		if err != nil {
 			return nil, err
 		}
-		tr, err := whisper.DecodeTrace(f)
+		var rep *whisper.Report
+		if stream {
+			rep, err = whisper.AnalyzeReader(f)
+		} else {
+			var tr *whisper.Trace
+			tr, err = whisper.DecodeTrace(f)
+			if err == nil {
+				rep = whisper.Analyze(tr)
+			}
+		}
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", path, err)
 		}
-		out = append(out, whisper.Analyze(tr))
+		out = append(out, rep)
 	}
 	return out, nil
 }

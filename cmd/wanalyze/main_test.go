@@ -70,6 +70,12 @@ func TestRunErrorPaths(t *testing.T) {
 			wantErr:  "bad.wspr",
 		},
 		{
+			name:     "corrupt trace file streaming",
+			args:     []string{"-dir", corruptDir, "-stream"},
+			wantCode: 1,
+			wantErr:  "bad.wspr",
+		},
+		{
 			name:     "unwritable metrics path",
 			args:     []string{"-dir", traceDir, "-metrics", filepath.Join(tmp, "no-dir", "m.json")},
 			wantCode: 1,
@@ -95,5 +101,34 @@ func TestRunErrorPaths(t *testing.T) {
 				t.Fatalf("success run printed no figure:\n%s", stdout.String())
 			}
 		})
+	}
+}
+
+// TestStreamFlagOutputIdentical asserts that -stream changes nothing about
+// the rendered figures, whether analyzing saved traces or live runs.
+func TestStreamFlagOutputIdentical(t *testing.T) {
+	traceDir := t.TempDir()
+	rep, err := whisper.Run("hashmap", whisper.Config{Clients: 2, Ops: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(traceDir, "hashmap.wspr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Trace.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var plain, streamed bytes.Buffer
+	if code := run([]string{"-dir", traceDir}, &plain, &plain); code != 0 {
+		t.Fatalf("plain run failed: %s", plain.String())
+	}
+	if code := run([]string{"-dir", traceDir, "-stream"}, &streamed, &streamed); code != 0 {
+		t.Fatalf("streamed run failed: %s", streamed.String())
+	}
+	if plain.String() != streamed.String() {
+		t.Errorf("-stream changed -dir output:\nplain:\n%s\nstreamed:\n%s", plain.String(), streamed.String())
 	}
 }

@@ -1,0 +1,211 @@
+// Command wbench converts `go test -bench` output into a stable JSON
+// document, so benchmark results can be committed (BENCH_*.json) and
+// uploaded as CI artifacts without hand-editing test output.
+//
+// Usage:
+//
+//	go test -bench BenchmarkPipelineAnalyze -count 3 . | wbench -o BENCH.json
+//	wbench -note "nproc=1 container" < bench.txt
+//
+// Repeated runs of the same benchmark (from -count N) are folded into one
+// entry carrying every sample plus the median, which is the number to
+// quote on noisy machines. Unknown lines pass through untouched to stderr
+// filters upstream; wbench only consumes lines that look like benchmark
+// results (Benchmark<Name>-P <iters> <value> <unit> ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// sample is one parsed benchmark result line: ns/op plus any extra
+// metrics the benchmark reported (Mevents/s, MB/s, B/op, allocs/op).
+type sample struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// entry folds all -count repetitions of one benchmark together.
+type entry struct {
+	Name    string             `json:"name"`
+	Samples []sample           `json:"samples"`
+	Median  map[string]float64 `json:"median"`
+}
+
+type document struct {
+	Note       string   `json:"note,omitempty"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []*entry `json:"benchmarks"`
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	note := fs.String("note", "", "free-form note recorded in the document")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "wbench: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	doc, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "wbench: %v\n", err)
+		return 1
+	}
+	doc.Note = *note
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "wbench: no benchmark result lines found in input")
+		return 1
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "wbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(stderr, "wbench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parse reads go test -bench output, collecting result lines and the
+// goos/goarch/pkg/cpu header stanza.
+func parse(r io.Reader) (*document, error) {
+	doc := &document{}
+	byName := make(map[string]*entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		s, name, ok := parseResult(line)
+		if !ok {
+			continue
+		}
+		e := byName[name]
+		if e == nil {
+			e = &entry{Name: name}
+			byName[name] = e
+			doc.Benchmarks = append(doc.Benchmarks, e)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, e := range doc.Benchmarks {
+		e.Median = medians(e.Samples)
+	}
+	return doc, nil
+}
+
+// parseResult parses one benchmark result line:
+//
+//	BenchmarkName-8   5   152104271 ns/op   6.574 Mevents/s   52149830 B/op
+//
+// The -P GOMAXPROCS suffix is stripped from the name so entries fold
+// across machines.
+func parseResult(line string) (sample, string, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return sample{}, "", false
+	}
+	fields := strings.Fields(line)
+	// Name, iteration count, then at least one "value unit" pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return sample{}, "", false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return sample{}, "", false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	s := sample{Metrics: map[string]float64{}}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return sample{}, "", false
+		}
+		if fields[i+1] == "ns/op" {
+			s.NsPerOp = v
+			seen = true
+		} else {
+			s.Metrics[fields[i+1]] = v
+		}
+	}
+	if !seen {
+		return sample{}, "", false
+	}
+	if len(s.Metrics) == 0 {
+		s.Metrics = nil
+	}
+	return s, name, true
+}
+
+// medians computes the per-metric median across samples, keyed by unit
+// ("ns/op" plus each extra metric).
+func medians(samples []sample) map[string]float64 {
+	cols := map[string][]float64{}
+	for _, s := range samples {
+		cols["ns/op"] = append(cols["ns/op"], s.NsPerOp)
+		for k, v := range s.Metrics {
+			cols[k] = append(cols[k], v)
+		}
+	}
+	m := make(map[string]float64, len(cols))
+	for k, vs := range cols {
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			m[k] = vs[n/2]
+		} else {
+			m[k] = (vs[n/2-1] + vs[n/2]) / 2
+		}
+	}
+	return m
+}

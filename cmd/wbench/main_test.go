@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/whisper-pm/whisper
+cpu: AMD EPYC 7B13
+BenchmarkPipelineAnalyze/stream/threads8-8   5   66643816 ns/op   15.01 Mevents/s   35956225 B/op   2135 allocs/op
+BenchmarkPipelineAnalyze/stream/threads8-8   5   59214758 ns/op   16.89 Mevents/s   31671721 B/op   2134 allocs/op
+BenchmarkPipelineAnalyze/stream/threads8-8   5   61187217 ns/op   16.34 Mevents/s   33264956 B/op   2131 allocs/op
+BenchmarkTraceCodecV2/encode/v2-8   10   20459627 ns/op   337.05 MB/s
+PASS
+ok   github.com/whisper-pm/whisper   12.3s
+`
+
+func TestParseFoldsRepetitionsAndMedians(t *testing.T) {
+	doc, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header stanza mis-parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	pa := doc.Benchmarks[0]
+	if pa.Name != "BenchmarkPipelineAnalyze/stream/threads8" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", pa.Name)
+	}
+	if len(pa.Samples) != 3 {
+		t.Fatalf("got %d samples, want 3 (repetitions must fold)", len(pa.Samples))
+	}
+	if got := pa.Median["Mevents/s"]; got != 16.34 {
+		t.Errorf("median Mevents/s = %v, want 16.34", got)
+	}
+	if got := pa.Median["ns/op"]; got != 61187217 {
+		t.Errorf("median ns/op = %v, want 61187217", got)
+	}
+	enc := doc.Benchmarks[1]
+	if len(enc.Samples) != 1 || enc.Median["MB/s"] != 337.05 {
+		t.Errorf("codec entry mis-parsed: %+v", enc)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkBroken notanumber ns/op\n--- BENCH: x\nok pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("got %d benchmarks from junk input, want 0", len(doc.Benchmarks))
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-note", "test box"}, strings.NewReader(benchOutput), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	var doc document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Note != "test box" || len(doc.Benchmarks) != 2 {
+		t.Errorf("round-trip mismatch: %+v", doc)
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, strings.NewReader("no results here\n"), &out, &errBuf); code != 1 {
+		t.Errorf("empty input: exit %d, want 1", code)
+	}
+	if code := run([]string{"stray"}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Errorf("stray args: exit %d, want 2", code)
+	}
+}

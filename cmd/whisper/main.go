@@ -39,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent benchmark runs (1 = serial)")
 	traceDir := flag.String("trace", "", "directory to save raw traces")
+	stream := flag.Bool("stream", false, "pipe each run through the streaming analysis (bounded memory, serial; -trace saves chunked v2 traces)")
 	table1 := flag.Bool("table1", false, "print only the Table 1 epoch-rate rows")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
@@ -59,15 +60,33 @@ func main() {
 
 	cfg := whisper.Config{Clients: *clients, Ops: *ops, Seed: *seed}
 
-	var reports []*whisper.Report
+	names := whisper.Names()
 	if *bench != "" {
+		names = []string{*bench}
+	}
+
+	var reports []*whisper.Report
+	switch {
+	case *stream:
+		// The streaming path analyzes each run's events as they are
+		// produced and never materializes a trace; runs execute serially
+		// (the app and its analysis already pipeline within one run).
+		for _, name := range names {
+			rep, err := runStreamed(name, cfg, *traceDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			reports = append(reports, rep)
+		}
+	case *bench != "":
 		rep, err := whisper.Run(*bench, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		reports = []*whisper.Report{rep}
-	} else {
+	default:
 		var err error
 		reports, err = whisper.RunAllParallel(cfg, *parallel)
 		if err != nil {
@@ -92,7 +111,7 @@ func main() {
 		} else {
 			fmt.Print(rep.String())
 		}
-		if *traceDir != "" {
+		if *traceDir != "" && rep.Trace != nil {
 			if err := saveTrace(*traceDir, rep.App, rep); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -103,6 +122,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "whisper:", err)
 		os.Exit(1)
 	}
+}
+
+// runStreamed runs one benchmark through the streaming pipeline, teeing
+// its events to <dir>/<name>.wspr in the v2 format when dir is set.
+func runStreamed(name string, cfg whisper.Config, dir string) (*whisper.Report, error) {
+	if dir == "" {
+		return whisper.RunStream(name, cfg, nil)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".wspr"))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := whisper.RunStream(name, cfg, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 func saveTrace(dir, name string, rep *whisper.Report) error {

@@ -9,17 +9,7 @@ import "github.com/whisper-pm/whisper/internal/trace"
 // here (Figure 6 uses the counters directly).
 func ReplayTrace(h *Hierarchy, tr *trace.Trace) Stats {
 	for _, e := range tr.Events {
-		tid := int(e.TID) % h.cfg.Threads
-		switch e.Kind {
-		case trace.KStore, trace.KVStore:
-			h.Write(tid, e.Addr, int(e.Size))
-		case trace.KLoad, trace.KVLoad:
-			h.Read(tid, e.Addr, int(e.Size))
-		case trace.KStoreNT:
-			h.WriteNT(tid, e.Addr, int(e.Size))
-		case trace.KFlush:
-			h.Flush(tid, e.Addr, int(e.Size))
-		}
+		replayEvent(h, e)
 	}
 	return h.Stats()
 }

@@ -1,0 +1,40 @@
+package cachesim
+
+import (
+	"io"
+
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// ReplaySource drives the hierarchy with every memory event from an event
+// source, in O(1) memory per event. It is the streaming form of
+// ReplayTrace and produces identical statistics for an equivalent
+// materialized trace (the replay is a stateless per-event dispatch, so
+// the two are the same loop).
+func ReplaySource(h *Hierarchy, src trace.EventSource) (Stats, error) {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return h.Stats(), err
+		}
+		replayEvent(h, e)
+	}
+	return h.Stats(), nil
+}
+
+func replayEvent(h *Hierarchy, e trace.Event) {
+	tid := int(e.TID) % h.cfg.Threads
+	switch e.Kind {
+	case trace.KStore, trace.KVStore:
+		h.Write(tid, e.Addr, int(e.Size))
+	case trace.KLoad, trace.KVLoad:
+		h.Read(tid, e.Addr, int(e.Size))
+	case trace.KStoreNT:
+		h.WriteNT(tid, e.Addr, int(e.Size))
+	case trace.KFlush:
+		h.Flush(tid, e.Addr, int(e.Size))
+	}
+}

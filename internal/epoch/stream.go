@@ -1,0 +1,670 @@
+package epoch
+
+import (
+	"io"
+	"strconv"
+	"sync"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// Streaming analysis pipeline. Epochs are per-thread by definition (§5.1):
+// a thread's segmentation depends only on its own stores and fences, so a
+// demux stage routes each event — tagged with its global sequence index —
+// to a per-thread-group shard goroutine, and only the cross-thread WAW
+// dependency detection (Figure 5) runs as a merge pass, replayed in
+// global fence order over the 50 µs window index. The merge is
+// incremental: every chunk a shard finishes carries a watermark ("all my
+// events below index U are done"), and the merge consumes closed epochs
+// in global order as soon as they fall below the minimum watermark, so
+// pipeline memory is bounded by the in-flight window rather than the
+// trace or epoch count. Everything the shards and the merge produce is,
+// by construction, identical to what the serial Analyze computes;
+// TestStreamMatchesSerial asserts reflect.DeepEqual on randomized traces.
+
+const (
+	// streamChunkEvents is the demux batch size: events are handed to
+	// shards in chunks so channel hand-offs (and the goroutine switches
+	// they imply) amortize across thousands of events.
+	streamChunkEvents = 8192
+	// streamChanDepth bounds each shard's input queue; together with the
+	// chunk size it caps buffered events per shard (and therefore pipeline
+	// RSS) at depth*chunk.
+	streamChanDepth = 8
+	// maxShards caps the goroutine fan-out regardless of Meta.Threads.
+	maxShards = 16
+	// watermarkInterval is how often (in global events) the demux flushes
+	// every shard — including idle ones — so each shard's watermark keeps
+	// advancing and the merge can retire epochs. It bounds how many closed
+	// epochs the merge may buffer when the TID mix is skewed.
+	watermarkInterval = 1 << 16
+	// spillLines is the open-epoch size at which the line set switches
+	// from a linear-scanned slice to a map. Figure 4 epochs are
+	// overwhelmingly <6 lines, so almost every epoch stays on the slice
+	// fast path and the per-store map hashing of the serial analyzer is
+	// avoided entirely.
+	spillLines = 64
+)
+
+// indexedEvent is an event stamped with its global trace position, which
+// the merge pass uses to reconstruct serial processing order.
+type indexedEvent struct {
+	idx uint64
+	e   trace.Event
+}
+
+// chunkPool recycles demux→shard batches; shards return each batch after
+// reducing it, so steady-state allocation is independent of trace length.
+var chunkPool = sync.Pool{
+	New: func() any { return make([]indexedEvent, 0, streamChunkEvents) },
+}
+
+// epochPool recycles shard→merge epoch batches: the merge hands each
+// batch back once its epochs are retired (or copied into a queue), so
+// closed-epoch records stop being a per-epoch allocation source.
+var epochPool = sync.Pool{
+	New: func() any { return make([]closedEpoch, 0, 256) },
+}
+
+// chunkMsg is one demux→shard batch. upTo promises that every event
+// routed to this shard with idx < upTo is contained in this or an
+// earlier chunk; it becomes the shard's watermark once processed.
+type chunkMsg struct {
+	events []indexedEvent
+	upTo   uint64
+}
+
+// closedEpoch is one finished epoch as emitted by a shard: the closing
+// fence's global index, the unique PM lines written, and the fields the
+// serial closeEpoch consumes.
+type closedEpoch struct {
+	idx   uint64
+	start mem.Time
+	end   mem.Time
+	lines []mem.Line
+	bytes int
+	tid   int32
+}
+
+// txRec is one completed durable transaction (global index of its KTxEnd,
+// number of epochs it contained).
+type txRec struct {
+	idx   uint64
+	count int
+}
+
+// shardScalars are a shard's order-independent reductions, delivered once
+// when its input closes.
+type shardScalars struct {
+	cacheableStores uint64
+	ntStores        uint64
+	cacheableBytes  uint64
+	ntBytes         uint64
+	totalPMBytes    uint64
+	userBytes       uint64
+	pmAccesses      uint64
+	dramEvents      uint64
+}
+
+// shardMsg is one shard→merge delivery: the epochs and transactions the
+// shard closed while processing a chunk, plus the new watermark. final is
+// set exactly once per shard, when its input channel closes.
+type shardMsg struct {
+	shard  int
+	epochs []closedEpoch
+	txs    []txRec
+	mark   uint64
+	final  *shardScalars
+}
+
+// threadState is one thread's in-progress epoch plus transaction state,
+// the sharded counterpart of openEpoch/inTx/txEpochs in Analyze.
+type threadState struct {
+	lines   []mem.Line
+	spill   map[mem.Line]struct{}
+	bytes   int
+	start   mem.Time
+	dirty   bool
+	inTx    bool
+	txCount int
+}
+
+// AnalyzeStream runs the full epoch analysis over an event source without
+// materializing the trace. The result is identical (reflect.DeepEqual) to
+// Analyze on the equivalent materialized trace. Memory use is bounded by
+// the pipeline's in-flight window (channel depths plus one watermark
+// interval of closed epochs), independent of trace length.
+func AnalyzeStream(src trace.EventSource) (*Analysis, error) {
+	m := src.Meta()
+	// Shard count is the next power of two covering the thread count
+	// (capped), so the hot routing step is a mask, not a division.
+	nshards := 1
+	for nshards < m.Threads && nshards < maxShards {
+		nshards <<= 1
+	}
+	mask := int32(nshards - 1)
+
+	reg := obs.Default()
+	demuxed := reg.Counter("pipeline_events_total", obs.Labels{"app": m.App, "stage": "demux"})
+	sharded := reg.Counter("pipeline_events_total", obs.Labels{"app": m.App, "stage": "shard"})
+	depth := make([]*obs.Gauge, nshards)
+	for s := range depth {
+		depth[s] = reg.Gauge("pipeline_depth", obs.Labels{"app": m.App, "shard": strconv.Itoa(s)})
+	}
+
+	chans := make([]chan chunkMsg, nshards)
+	out := make(chan shardMsg, 2*nshards)
+	var wg sync.WaitGroup
+	for s := 0; s < nshards; s++ {
+		chans[s] = make(chan chunkMsg, streamChanDepth)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			runShard(s, chans[s], out, sharded)
+		}(s)
+	}
+
+	// The merge runs concurrently with the demux so shard output drains
+	// while events are still arriving; it owns the Analysis accumulators.
+	mg := newMerger(nshards)
+	mergeDone := make(chan struct{})
+	go func() {
+		defer close(mergeDone)
+		for msg := range out {
+			mg.consume(msg)
+		}
+	}()
+
+	// Demux: pull event batches (one interface call per chunk when the
+	// source supports it), assign global indices, track the trace's time
+	// span, and route by TID so each thread's events reach exactly one
+	// shard in order. Per-event reductions live in the shards.
+	next := chunkReader(src)
+	pending := make([][]indexedEvent, nshards)
+	for s := range pending {
+		pending[s] = chunkPool.Get().([]indexedEvent)[:0]
+	}
+	var (
+		idx    uint64
+		first  mem.Time
+		last   mem.Time
+		any    bool
+		srcErr error
+	)
+	nextMark := uint64(watermarkInterval)
+	for {
+		c, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			srcErr = err
+			break
+		}
+		if len(c) == 0 {
+			continue
+		}
+		if !any {
+			first = c[0].Time
+			any = true
+		}
+		last = c[len(c)-1].Time
+		for i := range c {
+			s := int(c[i].TID & mask)
+			pending[s] = append(pending[s], indexedEvent{idx: idx, e: c[i]})
+			idx++
+			if len(pending[s]) == streamChunkEvents {
+				demuxed.Add(streamChunkEvents)
+				depth[s].Set(int64(len(chans[s])))
+				chans[s] <- chunkMsg{events: pending[s], upTo: idx}
+				pending[s] = chunkPool.Get().([]indexedEvent)[:0]
+			}
+		}
+		if idx >= nextMark {
+			// Periodic watermark flush: push every shard's pending batch
+			// (possibly empty) so idle shards' watermarks advance and the
+			// merge can retire buffered epochs.
+			for s := range pending {
+				demuxed.Add(uint64(len(pending[s])))
+				chans[s] <- chunkMsg{events: pending[s], upTo: idx}
+				pending[s] = chunkPool.Get().([]indexedEvent)[:0]
+			}
+			nextMark = idx + watermarkInterval
+		}
+	}
+	for s := range chans {
+		if len(pending[s]) > 0 {
+			demuxed.Add(uint64(len(pending[s])))
+			chans[s] <- chunkMsg{events: pending[s], upTo: idx}
+		}
+		close(chans[s])
+	}
+	wg.Wait()
+	close(out)
+	<-mergeDone
+	for s := range depth {
+		depth[s].Set(0)
+	}
+	if srcErr != nil {
+		return nil, srcErr
+	}
+
+	a := mg.a
+	a.App, a.Layer, a.Threads = m.App, m.Layer, m.Threads
+	if any {
+		a.Duration = last - first
+	}
+	vloads, vstores := src.Volatile()
+	a.DRAMAccesses += vloads + vstores
+	return a, nil
+}
+
+// chunkReader returns a batch iterator over src: the source's own
+// NextChunk when it implements trace.ChunkSource, otherwise an adapter
+// that fills a reused buffer one event at a time.
+func chunkReader(src trace.EventSource) func() ([]trace.Event, error) {
+	if cs, ok := src.(trace.ChunkSource); ok {
+		return cs.NextChunk
+	}
+	buf := make([]trace.Event, 0, streamChunkEvents)
+	return func() ([]trace.Event, error) {
+		buf = buf[:0]
+		for len(buf) < streamChunkEvents {
+			e, err := src.Next()
+			if err == io.EOF {
+				if len(buf) == 0 {
+					return nil, io.EOF
+				}
+				return buf, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, e)
+		}
+		return buf, nil
+	}
+}
+
+// writerPageShift sizes the direct-index pages of the merge's lastWriter
+// table: 256 lines (16 KB of PM) per page. PM heaps are arena-allocated
+// and dense, so a handful of pages covers a whole app and almost every
+// lookup hits the single-entry page cache — no hashing per line, unlike
+// the serial analyzer's map.
+const writerPageShift = 8
+
+type mergeWriter struct {
+	thread int32
+	set    bool
+	end    mem.Time
+}
+
+type writerPage [1 << writerPageShift]mergeWriter
+
+// writerTable maps a line to its last-writer slot via a sparse page
+// directory plus a most-recently-used page cache.
+type writerTable struct {
+	pages    map[uint64]*writerPage
+	lastKey  uint64
+	lastPage *writerPage
+}
+
+func (t *writerTable) slot(l mem.Line) *mergeWriter {
+	key := uint64(l) >> writerPageShift
+	if t.lastPage == nil || key != t.lastKey {
+		p := t.pages[key]
+		if p == nil {
+			p = new(writerPage)
+			t.pages[key] = p
+		}
+		t.lastKey, t.lastPage = key, p
+	}
+	return &t.lastPage[uint64(l)&(1<<writerPageShift-1)]
+}
+
+// merger replays closed epochs in global fence order — exactly the order
+// the serial analyzer calls closeEpoch in, so the lastWriter index
+// evolves identically and the WAW counts match. Epochs arrive from each
+// shard already idx-sorted, so the merge is a k-way head selection gated
+// by the minimum shard watermark: an epoch is retired only once every
+// shard has passed its index, i.e. once no earlier epoch can still
+// arrive.
+type merger struct {
+	a       *Analysis
+	writers writerTable
+
+	marks     []uint64
+	epochQ    [][]closedEpoch
+	epochHead []int
+	// epochHeadIdx caches each shard queue's head global index (^0 when
+	// empty) so the k-way selection scans a flat array instead of
+	// dereferencing queue heads.
+	epochHeadIdx []uint64
+	txQ          [][]txRec
+	txHead       []int
+	txHeadIdx    []uint64
+}
+
+const emptyQueue = ^uint64(0)
+
+func newMerger(nshards int) *merger {
+	mg := &merger{
+		a:            &Analysis{},
+		writers:      writerTable{pages: make(map[uint64]*writerPage)},
+		marks:        make([]uint64, nshards),
+		epochQ:       make([][]closedEpoch, nshards),
+		epochHead:    make([]int, nshards),
+		epochHeadIdx: make([]uint64, nshards),
+		txQ:          make([][]txRec, nshards),
+		txHead:       make([]int, nshards),
+		txHeadIdx:    make([]uint64, nshards),
+	}
+	for s := 0; s < nshards; s++ {
+		mg.epochHeadIdx[s] = emptyQueue
+		mg.txHeadIdx[s] = emptyQueue
+	}
+	return mg
+}
+
+func (mg *merger) consume(msg shardMsg) {
+	if msg.final != nil {
+		f := msg.final
+		mg.a.CacheableStores += f.cacheableStores
+		mg.a.NTStores += f.ntStores
+		mg.a.CacheableBytes += f.cacheableBytes
+		mg.a.NTBytes += f.ntBytes
+		mg.a.TotalPMBytes += f.totalPMBytes
+		mg.a.UserBytes += f.userBytes
+		mg.a.PMAccesses += f.pmAccesses
+		mg.a.DRAMAccesses += f.dramEvents
+	}
+	s := msg.shard
+	if len(msg.epochs) > 0 {
+		if mg.epochHead[s] == len(mg.epochQ[s]) {
+			// Adopt the batch; it returns to the pool once drained.
+			mg.epochQ[s], mg.epochHead[s] = msg.epochs, 0
+		} else {
+			mg.epochQ[s] = append(mg.epochQ[s], msg.epochs...)
+			epochPool.Put(msg.epochs[:0])
+		}
+		mg.epochHeadIdx[s] = mg.epochQ[s][mg.epochHead[s]].idx
+	}
+	if len(msg.txs) > 0 {
+		if mg.txHead[s] == len(mg.txQ[s]) {
+			mg.txQ[s], mg.txHead[s] = msg.txs, 0
+		} else {
+			mg.txQ[s] = append(mg.txQ[s], msg.txs...)
+		}
+		mg.txHeadIdx[s] = mg.txQ[s][mg.txHead[s]].idx
+	}
+	if msg.mark > mg.marks[s] {
+		mg.marks[s] = msg.mark
+	}
+	safe := mg.marks[0]
+	for _, w := range mg.marks[1:] {
+		if w < safe {
+			safe = w
+		}
+	}
+	mg.drain(safe)
+}
+
+// drain retires, in ascending global index, every buffered epoch and
+// transaction below the safe watermark.
+func (mg *merger) drain(safe uint64) {
+	for {
+		best, bestIdx := -1, safe
+		for s, hi := range mg.epochHeadIdx {
+			if hi < bestIdx {
+				best, bestIdx = s, hi
+			}
+		}
+		if best == -1 {
+			break
+		}
+		h := mg.epochHead[best]
+		mg.closeEpoch(&mg.epochQ[best][h])
+		h++
+		if h == len(mg.epochQ[best]) {
+			epochPool.Put(mg.epochQ[best][:0])
+			mg.epochQ[best], h = nil, 0
+			mg.epochHeadIdx[best] = emptyQueue
+		} else {
+			mg.epochHeadIdx[best] = mg.epochQ[best][h].idx
+		}
+		mg.epochHead[best] = h
+	}
+	for {
+		best, bestIdx := -1, safe
+		for s, hi := range mg.txHeadIdx {
+			if hi < bestIdx {
+				best, bestIdx = s, hi
+			}
+		}
+		if best == -1 {
+			break
+		}
+		// Figure 3 inputs in global commit order, matching the serial
+		// append at each KTxEnd. The slice stays nil when there are no
+		// transactions, like the serial path.
+		h := mg.txHead[best]
+		mg.a.TxEpochCounts = append(mg.a.TxEpochCounts, mg.txQ[best][h].count)
+		h++
+		if h == len(mg.txQ[best]) {
+			mg.txQ[best], h = nil, 0
+			mg.txHeadIdx[best] = emptyQueue
+		} else {
+			mg.txHeadIdx[best] = mg.txQ[best][h].idx
+		}
+		mg.txHead[best] = h
+	}
+}
+
+// closeEpoch is the merge-side twin of the serial closeEpoch: size
+// histogram, singleton counts, and WAW dependency classification against
+// the global last-writer table.
+func (mg *merger) closeEpoch(ce *closedEpoch) {
+	a := mg.a
+	a.TotalEpochs++
+	n := len(ce.lines)
+	a.SizeHist[sizeBucket(n)]++
+	if n == 1 {
+		a.Singletons++
+		if ce.bytes < 10 {
+			a.SmallSingletons++
+		}
+	}
+	self, cross := false, false
+	for _, l := range ce.lines {
+		w := mg.writers.slot(l)
+		if w.set {
+			if ce.start >= w.end && ce.start-w.end <= DependencyWindow {
+				if w.thread == ce.tid {
+					self = true
+				} else {
+					cross = true
+				}
+			} else if ce.start < w.end && ce.end-w.end <= DependencyWindow {
+				if w.thread == ce.tid {
+					self = true
+				} else {
+					cross = true
+				}
+			}
+		}
+		w.thread, w.end, w.set = ce.tid, ce.end, true
+	}
+	if self {
+		a.SelfDepEpochs++
+	}
+	if cross {
+		a.CrossDepEpochs++
+	}
+}
+
+// runShard consumes one shard's chunk stream and reduces it, shipping the
+// epochs and transactions each chunk closes to the merge along with the
+// chunk's watermark. A shard owns every event of the TIDs routed to it,
+// in original order, so its epoch segmentation is exactly the serial
+// per-thread state machine — minus the per-event map lookups: thread
+// state is cached across consecutive events of the same TID, and the
+// open line set is a linearly-scanned slice until an epoch grows past
+// spillLines.
+func runShard(shard int, ch <-chan chunkMsg, out chan<- shardMsg, sharded *obs.Counter) {
+	var scal shardScalars
+	states := make(map[int32]*threadState)
+	var lastTID int32
+	var lastST *threadState
+	var arena []mem.Line
+	var scratch []mem.Line
+
+	for msg := range ch {
+		sharded.Add(uint64(len(msg.events)))
+		var epochs []closedEpoch
+		var txs []txRec
+		for i := range msg.events {
+			e := msg.events[i].e
+			st := lastST
+			if st == nil || e.TID != lastTID {
+				st = states[e.TID]
+				if st == nil {
+					st = &threadState{lines: make([]mem.Line, 0, 8)}
+					states[e.TID] = st
+				}
+				lastTID, lastST = e.TID, st
+			}
+			switch e.Kind {
+			case trace.KStore, trace.KStoreNT:
+				if !st.dirty {
+					st.start = e.Time
+					st.dirty = true
+				}
+				if e.Size > 0 {
+					l := mem.LineOf(e.Addr)
+					end := mem.LineOf(e.Addr + mem.Addr(e.Size) - 1)
+					for ; l <= end; l++ {
+						st.addLine(l)
+					}
+				}
+				st.bytes += int(e.Size)
+				if e.Kind == trace.KStore {
+					scal.cacheableStores++
+					scal.cacheableBytes += uint64(e.Size)
+				} else {
+					scal.ntStores++
+					scal.ntBytes += uint64(e.Size)
+				}
+				scal.totalPMBytes += uint64(e.Size)
+				scal.pmAccesses++
+
+			case trace.KLoad:
+				scal.pmAccesses++
+
+			case trace.KVLoad, trace.KVStore:
+				scal.dramEvents++
+
+			case trace.KFence:
+				n := len(st.lines)
+				if st.spill != nil {
+					n = len(st.spill)
+				}
+				if n == 0 {
+					// Empty epoch (§5.1): nothing ordered, nothing closed.
+					st.dirty = false
+					st.bytes = 0
+					continue
+				}
+				var lines []mem.Line
+				if st.spill != nil {
+					scratch = scratch[:0]
+					for l := range st.spill {
+						scratch = append(scratch, l)
+					}
+					arena, lines = appendArena(arena, scratch)
+				} else {
+					arena, lines = appendArena(arena, st.lines)
+				}
+				if epochs == nil {
+					epochs = epochPool.Get().([]closedEpoch)[:0]
+				}
+				epochs = append(epochs, closedEpoch{
+					idx:   msg.events[i].idx,
+					start: st.start,
+					end:   e.Time,
+					lines: lines,
+					bytes: st.bytes,
+					tid:   e.TID,
+				})
+				st.lines = st.lines[:0]
+				st.spill = nil
+				st.bytes = 0
+				st.dirty = false
+				if st.inTx {
+					st.txCount++
+				}
+
+			case trace.KTxBegin:
+				st.inTx = true
+				st.txCount = 0
+
+			case trace.KTxEnd:
+				if st.inTx {
+					if st.txCount > 0 {
+						txs = append(txs, txRec{idx: msg.events[i].idx, count: st.txCount})
+					}
+					st.inTx = false
+				}
+
+			case trace.KUserData:
+				scal.userBytes += uint64(e.Size)
+			}
+		}
+		chunkPool.Put(msg.events[:0])
+		out <- shardMsg{shard: shard, epochs: epochs, txs: txs, mark: msg.upTo}
+	}
+	out <- shardMsg{shard: shard, mark: ^uint64(0), final: &scal}
+}
+
+// addLine records a unique line in the open epoch, spilling from the
+// slice to a map once the epoch grows large.
+func (st *threadState) addLine(l mem.Line) {
+	if st.spill != nil {
+		st.spill[l] = struct{}{}
+		return
+	}
+	for _, have := range st.lines {
+		if have == l {
+			return
+		}
+	}
+	if len(st.lines) >= spillLines {
+		st.spill = make(map[mem.Line]struct{}, 2*spillLines)
+		for _, have := range st.lines {
+			st.spill[have] = struct{}{}
+		}
+		st.spill[l] = struct{}{}
+		st.lines = st.lines[:0]
+		return
+	}
+	st.lines = append(st.lines, l)
+}
+
+// appendArena copies src into a chunked arena and returns the arena plus
+// the stable subslice holding the copy. Closed epochs keep their line
+// lists alive only until the merge retires them, so per-epoch
+// allocations are batched into moderate blocks that free as the merge
+// watermark advances, instead of one tiny allocation per fence.
+func appendArena(arena, src []mem.Line) (newArena, out []mem.Line) {
+	if len(arena)+len(src) > cap(arena) {
+		capNeed := 1 << 12
+		if len(src) > capNeed {
+			capNeed = len(src)
+		}
+		arena = make([]mem.Line, 0, capNeed)
+	}
+	start := len(arena)
+	arena = append(arena, src...)
+	return arena, arena[start:len(arena):len(arena)]
+}

@@ -1,0 +1,175 @@
+package epoch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+func analyzeBoth(t *testing.T, tr *trace.Trace) (*Analysis, *Analysis) {
+	t.Helper()
+	serial := Analyze(tr)
+	streamed, err := AnalyzeStream(trace.NewSliceSource(tr))
+	if err != nil {
+		t.Fatalf("AnalyzeStream: %v", err)
+	}
+	return serial, streamed
+}
+
+func requireIdentical(t *testing.T, serial, streamed *Analysis) {
+	t.Helper()
+	if !reflect.DeepEqual(serial, streamed) {
+		t.Fatalf("streamed analysis diverges from serial:\nserial:   %+v\nstreamed: %+v", serial, streamed)
+	}
+}
+
+func TestStreamEmptyTrace(t *testing.T) {
+	serial, streamed := analyzeBoth(t, &trace.Trace{App: "x", Layer: "native", Threads: 3})
+	requireIdentical(t, serial, streamed)
+	if streamed.TxEpochCounts != nil {
+		t.Fatal("TxEpochCounts not nil on empty trace")
+	}
+}
+
+func TestStreamStructured(t *testing.T) {
+	// A hand-built multi-thread trace exercising every merge concern:
+	// cross-thread WAW inside and outside the window, overlapping epochs,
+	// transactions, spilled (>spillLines lines) epochs, zero-size stores,
+	// volatile events, user data.
+	tr := &trace.Trace{App: "structured", Layer: "nvml", Threads: 4, VolatileLoads: 100, VolatileStores: 50}
+	add := func(e trace.Event) { tr.Append(e) }
+	base := mem.PMBase
+	// Thread 0: transaction with two epochs, singleton lines.
+	add(txb(0, 10))
+	add(st(0, 11, base, 8))
+	add(fence(0, 12))
+	add(st(0, 13, base+64, 4))
+	add(fence(0, 14))
+	add(txe(0, 15))
+	// Thread 1: same line as thread 0, inside the window → cross WAW.
+	add(st(1, 20, base, 8))
+	add(fence(1, 21))
+	// Thread 2: giant epoch spilling the slice line set.
+	for i := 0; i < 2*spillLines; i++ {
+		add(st(2, mem.Time(30+i), base+mem.Addr(4096+64*i), 8))
+	}
+	add(fence(2, mem.Time(30+2*spillLines)))
+	// Thread 1 again: same giant range, far in the future → no WAW.
+	add(st(1, 30+mem.Time(2*spillLines)+2*DependencyWindow, base+4096, 8))
+	add(fence(1, 31+mem.Time(2*spillLines)+2*DependencyWindow))
+	// Thread 3: zero-size store then fence (closes nothing), then a
+	// flush-only fence, then user data and volatile traffic.
+	add(st(3, 40, base+1<<20, 0))
+	add(fence(3, 41))
+	add(trace.Event{Kind: trace.KFlush, TID: 3, Time: 42, Addr: base, Size: 64})
+	add(fence(3, 43))
+	add(trace.Event{Kind: trace.KUserData, TID: 3, Time: 44, Size: 123})
+	add(trace.Event{Kind: trace.KVLoad, TID: 3, Time: 45, Addr: 64})
+	add(trace.Event{Kind: trace.KVStore, TID: 3, Time: 46, Addr: 64})
+	add(trace.Event{Kind: trace.KLoad, TID: 3, Time: 47, Addr: base})
+	// Thread 0: cross WAW against thread 1's earlier write of base, then a
+	// self WAW on a line nobody else touches.
+	add(st(0, 50, base, 8))
+	add(fence(0, 51))
+	add(st(0, 52, base+192, 8))
+	add(fence(0, 53))
+	add(st(0, 54, base+192, 8))
+	add(fence(0, 55))
+
+	serial, streamed := analyzeBoth(t, tr)
+	if serial.CrossDepEpochs == 0 || serial.SelfDepEpochs == 0 {
+		t.Fatal("structured trace failed to produce both dependency kinds")
+	}
+	if serial.SizeHist[NumSizeBuckets-1] == 0 {
+		t.Fatal("structured trace failed to produce a spilled epoch")
+	}
+	requireIdentical(t, serial, streamed)
+}
+
+// TestStreamMatchesSerialRandom is the equivalence property test: on
+// randomized traces with contended lines, interleaved transactions, and
+// bursty fences, AnalyzeStream must equal Analyze exactly.
+func TestStreamMatchesSerialRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		threads := 1 + rng.Intn(8)
+		tr := &trace.Trace{
+			App:            "rand",
+			Layer:          "native",
+			Threads:        threads,
+			VolatileLoads:  uint64(rng.Intn(1000)),
+			VolatileStores: uint64(rng.Intn(1000)),
+		}
+		n := 200 + rng.Intn(5000)
+		clock := mem.Time(1)
+		// Small line pool forces heavy WAW contention across threads.
+		pool := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			tid := int32(rng.Intn(threads))
+			clock += mem.Time(rng.Intn(int(DependencyWindow) / 10))
+			e := trace.Event{TID: tid, Time: clock}
+			switch r := rng.Intn(100); {
+			case r < 55:
+				e.Kind = trace.KStore
+				if rng.Intn(4) == 0 {
+					e.Kind = trace.KStoreNT
+				}
+				e.Addr = mem.PMBase + mem.Addr(rng.Intn(pool))*mem.LineSize + mem.Addr(rng.Intn(8))
+				e.Size = uint32(rng.Intn(200)) // can cross lines; sometimes 0
+			case r < 75:
+				e.Kind = trace.KFence
+			case r < 80:
+				e.Kind = trace.KTxBegin
+			case r < 85:
+				e.Kind = trace.KTxEnd
+			case r < 90:
+				e.Kind = trace.KUserData
+				e.Size = uint32(rng.Intn(64))
+			case r < 94:
+				e.Kind = trace.KLoad
+				e.Addr = mem.PMBase
+			case r < 97:
+				e.Kind = trace.KVLoad
+				e.Addr = 64
+			default:
+				e.Kind = trace.KFlush
+				e.Addr = mem.PMBase
+				e.Size = 64
+			}
+			tr.Append(e)
+		}
+		serial, streamed := analyzeBoth(t, tr)
+		if !reflect.DeepEqual(serial, streamed) {
+			t.Fatalf("seed %d: streamed analysis diverges\nserial:   %+v\nstreamed: %+v", seed, serial, streamed)
+		}
+	}
+}
+
+func TestStreamManyThreadsBeyondShardCap(t *testing.T) {
+	// More TIDs than maxShards: several threads share a shard and the
+	// cached thread-state pointer must switch correctly.
+	tr := &trace.Trace{App: "wide", Layer: "native", Threads: 3 * maxShards}
+	for i := 0; i < 3*maxShards; i++ {
+		tid := int32(i)
+		tr.Append(st(tid, mem.Time(10*i+1), mem.PMBase+mem.Addr(i)*mem.LineSize, 8))
+		tr.Append(st(tid, mem.Time(10*i+2), mem.PMBase, 8)) // shared line
+		tr.Append(fence(tid, mem.Time(10*i+3)))
+	}
+	serial, streamed := analyzeBoth(t, tr)
+	requireIdentical(t, serial, streamed)
+}
+
+func TestStreamNegativeTID(t *testing.T) {
+	tr := mk(
+		st(-1, 1, mem.PMBase, 8),
+		fence(-1, 2),
+		st(-2, 3, mem.PMBase, 8),
+		fence(-2, 4),
+	)
+	tr.Threads = 2
+	serial, streamed := analyzeBoth(t, tr)
+	requireIdentical(t, serial, streamed)
+}

@@ -1,0 +1,162 @@
+package hops
+
+import (
+	"io"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// Streaming replay. The only part of the timing replay that needs the
+// future is the ofence/dfence split: a KFence is a dfence exactly when
+// the thread's next ordering event (KFence or KTxEnd) is a KTxEnd — that
+// is the fence markDurabilityFences would mark, since a later fence of
+// the same thread steals lastFence before any commit could mark the
+// earlier one. dfenceResolver implements that rule with a bounded
+// lookahead queue: events buffer only while some thread has a fence whose
+// classification is still unknown, which in practice is the short
+// distance to that thread's next ordering point.
+
+// pendingEvent is one buffered event awaiting dfence resolution.
+type pendingEvent struct {
+	e      trace.Event
+	dfence bool
+	await  bool // an unresolved KFence; blocks draining
+}
+
+// dfenceResolver buffers events until every fence ahead of them is
+// classified, then releases them in input order via the emit callback.
+type dfenceResolver struct {
+	queue      []pendingEvent
+	base       int           // stream position of queue[0]
+	pos        int           // stream position of the next pushed event
+	unresolved map[int32]int // tid -> stream position of its open fence
+	emit       func(e trace.Event, dfence bool)
+}
+
+func newDfenceResolver(emit func(trace.Event, bool)) *dfenceResolver {
+	return &dfenceResolver{unresolved: make(map[int32]int), emit: emit}
+}
+
+func (d *dfenceResolver) push(e trace.Event) {
+	switch e.Kind {
+	case trace.KFence:
+		// A newer fence of the same thread makes the older one an ofence.
+		if j, ok := d.unresolved[e.TID]; ok {
+			d.queue[j-d.base].await = false
+		}
+		d.queue = append(d.queue, pendingEvent{e: e, await: true})
+		d.unresolved[e.TID] = d.pos
+	case trace.KTxEnd:
+		// Commit: the thread's open fence is its durability point.
+		if j, ok := d.unresolved[e.TID]; ok {
+			d.queue[j-d.base].await = false
+			d.queue[j-d.base].dfence = true
+			delete(d.unresolved, e.TID)
+		}
+		if len(d.queue) == 0 {
+			d.pos++
+			d.base++
+			d.emit(e, false)
+			return
+		}
+		d.queue = append(d.queue, pendingEvent{e: e})
+	default:
+		if len(d.queue) == 0 {
+			// Nothing buffered and nothing to resolve: bypass the queue.
+			d.pos++
+			d.base++
+			d.emit(e, false)
+			return
+		}
+		d.queue = append(d.queue, pendingEvent{e: e})
+	}
+	d.pos++
+	d.drain()
+}
+
+func (d *dfenceResolver) drain() {
+	i := 0
+	for ; i < len(d.queue) && !d.queue[i].await; i++ {
+		d.emit(d.queue[i].e, d.queue[i].dfence)
+	}
+	if i > 0 {
+		d.base += i
+		d.queue = d.queue[:copy(d.queue, d.queue[i:])]
+	}
+}
+
+// finish releases everything still buffered: fences with no later commit
+// are ofences, matching markDurabilityFences on a full trace.
+func (d *dfenceResolver) finish() {
+	for i := range d.queue {
+		d.queue[i].await = false
+	}
+	d.drain()
+}
+
+// ReplaySource is ReplayObserved over an event source: one pass, O(open
+// lookahead) memory, and a result identical to replaying the equivalent
+// materialized trace.
+func ReplaySource(src trace.EventSource, model Model, cfg Config, lat mem.Latency, ro ReplayObs) (Result, error) {
+	r := newReplayer(model, cfg, lat, ro)
+	d := newDfenceResolver(r.step)
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Result{Model: model}, err
+		}
+		d.push(e)
+	}
+	d.finish()
+	return r.result(), nil
+}
+
+// NormalizedSource computes the Figure 10 normalized runtimes from a
+// single pass over an event source: the five models' replayers advance in
+// lockstep on the same resolved event stream. instruments may be nil.
+func NormalizedSource(src trace.EventSource, cfg Config, lat mem.Latency, instruments func(Model) ReplayObs) (map[Model]float64, error) {
+	rs := make([]*replayer, len(Models))
+	for i, m := range Models {
+		ro := ReplayObs{}
+		if instruments != nil {
+			ro = instruments(m)
+		}
+		rs[i] = newReplayer(m, cfg, lat, ro)
+	}
+	d := newDfenceResolver(func(e trace.Event, dfence bool) {
+		for _, r := range rs {
+			r.step(e, dfence)
+		}
+	})
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.push(e)
+	}
+	d.finish()
+
+	out := make(map[Model]float64, len(Models))
+	var base mem.Cycles
+	for i, m := range Models {
+		if m == X86NVM {
+			base = rs[i].result().Cycles
+		}
+	}
+	for i, m := range Models {
+		if m == X86NVM {
+			out[m] = 1.0
+			continue
+		}
+		out[m] = float64(rs[i].result().Cycles) / float64(base)
+	}
+	return out, nil
+}

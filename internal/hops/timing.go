@@ -103,47 +103,65 @@ func Replay(tr *trace.Trace, model Model, cfg Config, lat mem.Latency) Result {
 // instruments are pure outputs: ReplayObserved(tr, m, cfg, lat, ro) returns
 // exactly what Replay(tr, m, cfg, lat) returns.
 func ReplayObserved(tr *trace.Trace, model Model, cfg Config, lat mem.Latency, ro ReplayObs) Result {
-	res := Result{Model: model}
 	dfence := markDurabilityFences(tr)
+	r := newReplayer(model, cfg, lat, ro)
+	for i := range tr.Events {
+		r.step(tr.Events[i], dfence[i])
+	}
+	return r.result()
+}
+
+// replayer is the incremental core of the timing replay: one event at a
+// time via step, with the dfence decision supplied by the caller (from
+// markDurabilityFences on a materialized trace, or from the streaming
+// lookahead in ReplaySource). ReplayObserved is exactly a step loop, so
+// both paths share every modelling decision.
+type replayer struct {
+	model Model
+	cfg   Config
+	lat   mem.Latency
+	ro    ReplayObs
+	res   Result
 
 	// origPending mirrors pmem.Device.PendingFlushes exactly (distinct
 	// CLWB'd lines since the last fence): it reconstructs the cost the
 	// original execution charged each fence, independent of the model
 	// being replayed. modelPending is the x86 models' own drain set and
 	// additionally includes NT-store lines waiting in the WCB.
-	origPending := make(map[int32]map[mem.Line]bool)
-	modelPending := make(map[int32]map[mem.Line]bool)
-	getSet := func(m map[int32]map[mem.Line]bool, tid int32) map[mem.Line]bool {
-		p := m[tid]
-		if p == nil {
-			p = make(map[mem.Line]bool)
-			m[tid] = p
-		}
-		return p
-	}
+	origPending  map[int32]map[mem.Line]bool
+	modelPending map[int32]map[mem.Line]bool
+	// pbs holds the per-thread HOPS persist buffers.
+	pbs map[int32]*pbState
 
-	// Per-thread HOPS persist buffers.
-	pbs := make(map[int32]*pbState)
-	getPB := func(tid int32) *pbState {
-		pb := pbs[tid]
-		if pb == nil {
-			pb = &pbState{}
-			pbs[tid] = pb
-		}
-		return pb
-	}
+	persistLat    mem.Cycles
+	drainInterval mem.Cycles
+	ooo           mem.Cycles
+	drainAt       int
 
-	persistLat := lat.PMCycles
+	now      mem.Cycles
+	prevTime mem.Time
+	started  bool
+}
+
+func newReplayer(model Model, cfg Config, lat mem.Latency, ro ReplayObs) *replayer {
+	r := &replayer{
+		model: model, cfg: cfg, lat: lat, ro: ro,
+		res:          Result{Model: model},
+		origPending:  make(map[int32]map[mem.Line]bool),
+		modelPending: make(map[int32]map[mem.Line]bool),
+		pbs:          make(map[int32]*pbState),
+	}
+	r.persistLat = lat.PMCycles
 	if model == X86PWQ || model == HOPSPWQ {
-		persistLat = lat.MCQueue
+		r.persistLat = lat.MCQueue
 	}
 	pipe := cfg.MCPipeline
 	if pipe == 0 {
 		pipe = 4
 	}
-	drainInterval := mem.Cycles(int(persistLat) / (cfg.MCs * pipe))
-	if drainInterval == 0 {
-		drainInterval = 1
+	r.drainInterval = mem.Cycles(int(r.persistLat) / (cfg.MCs * pipe))
+	if r.drainInterval == 0 {
+		r.drainInterval = 1
 	}
 
 	// DrainAt is the occupancy at which the drain engine force-closes
@@ -152,161 +170,184 @@ func ReplayObserved(tr *trace.Trace, model Model, cfg Config, lat mem.Latency, r
 	// closed them. Clamp to [1, PBEntries]: 1 = fully eager (every store
 	// is handed to the drain engine immediately, the pre-sweep behaviour),
 	// PBEntries = drain only on fences or a full buffer.
-	drainAt := cfg.DrainAt
-	if drainAt <= 0 {
-		drainAt = 1
+	r.drainAt = cfg.DrainAt
+	if r.drainAt <= 0 {
+		r.drainAt = 1
 	}
-	if drainAt > cfg.PBEntries {
-		drainAt = cfg.PBEntries
+	if r.drainAt > cfg.PBEntries {
+		r.drainAt = cfg.PBEntries
 	}
 
-	// schedule hands every open-epoch entry to the background drain
-	// engine: the first completes a full persist latency from now, the
-	// rest stream behind it at the MC drain interval.
-	schedule := func(pb *pbState, now mem.Cycles) {
-		for ; pb.open > 0; pb.open-- {
-			completion := now + persistLat
-			if n := len(pb.done); n > 0 && pb.done[n-1]+drainInterval > completion {
-				completion = pb.done[n-1] + drainInterval
-			}
-			pb.done = append(pb.done, completion)
+	r.ooo = mem.Cycles(cfg.OOOWidth)
+	if r.ooo == 0 {
+		r.ooo = 4
+	}
+	return r
+}
+
+func getSet(m map[int32]map[mem.Line]bool, tid int32) map[mem.Line]bool {
+	p := m[tid]
+	if p == nil {
+		p = make(map[mem.Line]bool)
+		m[tid] = p
+	}
+	return p
+}
+
+func (r *replayer) getPB(tid int32) *pbState {
+	pb := r.pbs[tid]
+	if pb == nil {
+		pb = &pbState{}
+		r.pbs[tid] = pb
+	}
+	return pb
+}
+
+// schedule hands every open-epoch entry to the background drain
+// engine: the first completes a full persist latency from now, the
+// rest stream behind it at the MC drain interval.
+func (r *replayer) schedule(pb *pbState, now mem.Cycles) {
+	for ; pb.open > 0; pb.open-- {
+		completion := now + r.persistLat
+		if n := len(pb.done); n > 0 && pb.done[n-1]+r.drainInterval > completion {
+			completion = pb.done[n-1] + r.drainInterval
 		}
+		pb.done = append(pb.done, completion)
 	}
-	// retire drops entries whose background drain has completed.
-	retire := func(pb *pbState, now mem.Cycles) {
-		for len(pb.done) > 0 && pb.done[0] <= now {
-			pb.done = pb.done[1:]
+}
+
+// retire drops entries whose background drain has completed.
+func (r *replayer) retire(pb *pbState, now mem.Cycles) {
+	for len(pb.done) > 0 && pb.done[0] <= now {
+		pb.done = pb.done[1:]
+	}
+}
+
+// step replays one event. dfence tells a KFence whether it is a
+// durability fence under the HOPS models; it is ignored for every other
+// event kind.
+func (r *replayer) step(e trace.Event, dfence bool) {
+	if !r.started {
+		r.prevTime = e.Time
+		r.started = true
+	}
+	// Recover pure compute: the recorded gap minus the cost the
+	// original execution charged for this event.
+	gap := r.lat.ToCycles(e.Time - r.prevTime)
+	orig := originalCharge(e, r.lat, getSet(r.origPending, e.TID))
+	if gap > orig {
+		// Compute executes on the OOO core; fences (substituted below
+		// per model) serialize.
+		r.now += (gap - orig) / r.ooo
+	}
+	r.prevTime = e.Time
+
+	// Maintain the original execution's pending-flush bookkeeping
+	// regardless of model.
+	switch e.Kind {
+	case trace.KFlush:
+		for _, l := range mem.Lines(e.Addr, int(e.Size)) {
+			getSet(r.origPending, e.TID)[l] = true
 		}
+	case trace.KFence:
+		delete(r.origPending, e.TID)
 	}
 
-	ooo := mem.Cycles(cfg.OOOWidth)
-	if ooo == 0 {
-		ooo = 4
-	}
-
-	var now mem.Cycles
-	var prevTime mem.Time
-	if len(tr.Events) > 0 {
-		prevTime = tr.Events[0].Time
-	}
-
-	for i, e := range tr.Events {
-		// Recover pure compute: the recorded gap minus the cost the
-		// original execution charged for this event.
-		gap := lat.ToCycles(e.Time - prevTime)
-		orig := originalCharge(e, lat, getSet(origPending, e.TID))
-		if gap > orig {
-			// Compute executes on the OOO core; fences (substituted below
-			// per model) serialize.
-			now += (gap - orig) / ooo
+	switch e.Kind {
+	case trace.KStore, trace.KStoreNT:
+		r.now += r.lat.StoreCycles
+		if e.Kind == trace.KStoreNT {
+			r.now++
 		}
-		prevTime = e.Time
-
-		// Maintain the original execution's pending-flush bookkeeping
-		// regardless of model.
-		switch e.Kind {
-		case trace.KFlush:
-			for _, l := range mem.Lines(e.Addr, int(e.Size)) {
-				getSet(origPending, e.TID)[l] = true
-			}
-		case trace.KFence:
-			delete(origPending, e.TID)
-		}
-
-		switch e.Kind {
-		case trace.KStore, trace.KStoreNT:
-			now += lat.StoreCycles
+		switch r.model {
+		case X86NVM, X86PWQ:
 			if e.Kind == trace.KStoreNT {
-				now++
-			}
-			switch model {
-			case X86NVM, X86PWQ:
-				if e.Kind == trace.KStoreNT {
-					for _, l := range mem.Lines(e.Addr, int(e.Size)) {
-						getSet(modelPending, e.TID)[l] = true
-					}
-				}
-			case HOPSNVM, HOPSPWQ:
-				pb := getPB(e.TID)
-				for range mem.Lines(e.Addr, int(e.Size)) {
-					retire(pb, now)
-					if len(pb.done)+pb.open >= cfg.PBEntries {
-						// Full PB: force-close the open epoch and stall
-						// until the head entry drains.
-						schedule(pb, now)
-						stall := pb.done[0] - now
-						now += stall
-						res.StallCycles += stall
-						ro.DrainStall.Observe(uint64(stall))
-						pb.done = pb.done[1:]
-					}
-					pb.open++
-					if pb.open >= drainAt {
-						// Occupancy hit the launch threshold: epoch-split
-						// the open epoch and drain it in the background.
-						schedule(pb, now)
-					}
-					ro.Occupancy.Observe(uint64(len(pb.done) + pb.open))
-				}
-			case Ideal:
-				// No persistence bookkeeping at all.
-			}
-
-		case trace.KLoad:
-			now += lat.L1Cycles
-
-		case trace.KFlush:
-			switch model {
-			case X86NVM, X86PWQ:
-				now += 2 // clwb issue cost
 				for _, l := range mem.Lines(e.Addr, int(e.Size)) {
-					getSet(modelPending, e.TID)[l] = true
+					getSet(r.modelPending, e.TID)[l] = true
 				}
-			default:
-				// HOPS and IDEAL need no flush instructions: the
-				// instruction disappears from the stream.
 			}
-
-		case trace.KFence:
-			res.Fences++
-			switch model {
-			case X86NVM, X86PWQ:
-				n := len(getSet(modelPending, e.TID))
-				ro.Occupancy.Observe(uint64(n))
-				stall := x86FenceCost(n, persistLat, drainInterval)
-				now += stall
-				res.StallCycles += stall
-				ro.DrainStall.Observe(uint64(stall))
-				delete(modelPending, e.TID)
-			case HOPSNVM, HOPSPWQ:
-				now++ // TS register bump
-				pb := getPB(e.TID)
-				retire(pb, now)
-				// The fence closes the epoch; its entries may now drain,
-				// so hand them to the background engine (BEP rule: epochs
-				// drain when closed, an ofence never stalls for them).
-				schedule(pb, now)
-				if dfence[i] {
-					res.DFences++
-					if len(pb.done) > 0 {
-						stall := pb.done[len(pb.done)-1] - now
-						now += stall
-						res.StallCycles += stall
-						ro.DrainStall.Observe(uint64(stall))
-						pb.done = pb.done[:0]
-					}
+		case HOPSNVM, HOPSPWQ:
+			pb := r.getPB(e.TID)
+			for range mem.Lines(e.Addr, int(e.Size)) {
+				r.retire(pb, r.now)
+				if len(pb.done)+pb.open >= r.cfg.PBEntries {
+					// Full PB: force-close the open epoch and stall
+					// until the head entry drains.
+					r.schedule(pb, r.now)
+					stall := pb.done[0] - r.now
+					r.now += stall
+					r.res.StallCycles += stall
+					r.ro.DrainStall.Observe(uint64(stall))
+					pb.done = pb.done[1:]
 				}
-			case Ideal:
-				now++
+				pb.open++
+				if pb.open >= r.drainAt {
+					// Occupancy hit the launch threshold: epoch-split
+					// the open epoch and drain it in the background.
+					r.schedule(pb, r.now)
+				}
+				r.ro.Occupancy.Observe(uint64(len(pb.done) + pb.open))
 			}
-
-		case trace.KVLoad, trace.KVStore:
-			now++
+		case Ideal:
+			// No persistence bookkeeping at all.
 		}
-	}
 
-	res.Cycles = now
-	return res
+	case trace.KLoad:
+		r.now += r.lat.L1Cycles
+
+	case trace.KFlush:
+		switch r.model {
+		case X86NVM, X86PWQ:
+			r.now += 2 // clwb issue cost
+			for _, l := range mem.Lines(e.Addr, int(e.Size)) {
+				getSet(r.modelPending, e.TID)[l] = true
+			}
+		default:
+			// HOPS and IDEAL need no flush instructions: the
+			// instruction disappears from the stream.
+		}
+
+	case trace.KFence:
+		r.res.Fences++
+		switch r.model {
+		case X86NVM, X86PWQ:
+			n := len(getSet(r.modelPending, e.TID))
+			r.ro.Occupancy.Observe(uint64(n))
+			stall := x86FenceCost(n, r.persistLat, r.drainInterval)
+			r.now += stall
+			r.res.StallCycles += stall
+			r.ro.DrainStall.Observe(uint64(stall))
+			delete(r.modelPending, e.TID)
+		case HOPSNVM, HOPSPWQ:
+			r.now++ // TS register bump
+			pb := r.getPB(e.TID)
+			r.retire(pb, r.now)
+			// The fence closes the epoch; its entries may now drain,
+			// so hand them to the background engine (BEP rule: epochs
+			// drain when closed, an ofence never stalls for them).
+			r.schedule(pb, r.now)
+			if dfence {
+				r.res.DFences++
+				if len(pb.done) > 0 {
+					stall := pb.done[len(pb.done)-1] - r.now
+					r.now += stall
+					r.res.StallCycles += stall
+					r.ro.DrainStall.Observe(uint64(stall))
+					pb.done = pb.done[:0]
+				}
+			}
+		case Ideal:
+			r.now++
+		}
+
+	case trace.KVLoad, trace.KVStore:
+		r.now++
+	}
+}
+
+func (r *replayer) result() Result {
+	r.res.Cycles = r.now
+	return r.res
 }
 
 // originalCharge reproduces the cycle cost persist.Thread charged for an

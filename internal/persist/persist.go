@@ -58,6 +58,7 @@ type Runtime struct {
 	threads []*Thread
 	vnext   mem.Addr // volatile address bump pointer (below mem.PMBase)
 	onEvent func(trace.Event)
+	sink    func(trace.Event)
 
 	// epochLines records the size, in cache-line touches, of every epoch
 	// the run closes (the paper's Figure 3 dimension). Instruments come
@@ -135,6 +136,15 @@ func (r *Runtime) Crash(mode pmem.CrashMode, seed int64) {
 // after that instruction.
 func (r *Runtime) SetEventHook(fn func(trace.Event)) { r.onEvent = fn }
 
+// SetEventSink routes every persistent trace event to sink INSTEAD of
+// appending it to the in-memory Trace (nil restores materialization).
+// This is the streaming pipeline's tap: with a sink installed, a run's
+// memory no longer grows with its event count. The aggregate volatile
+// counters still accumulate on r.Trace, and the event hook (if any) still
+// fires after the sink. Events are emitted under the runtime's
+// deterministic scheduler, so the sink is never called concurrently.
+func (r *Runtime) SetEventSink(sink func(trace.Event)) { r.sink = sink }
+
 // Reboot replaces the runtime's device with dev — typically a crash image —
 // and resets all per-thread volatile state (open transactions and epochs
 // are abandoned, like CPU state across a power failure). The trace keeps
@@ -183,7 +193,11 @@ func (t *Thread) emit(k trace.Kind, a mem.Addr, size int) {
 		TID:  int32(t.id),
 		Kind: k,
 	}
-	t.rt.Trace.Append(ev)
+	if t.rt.sink != nil {
+		t.rt.sink(ev)
+	} else {
+		t.rt.Trace.Append(ev)
+	}
 	if t.rt.onEvent != nil {
 		t.rt.onEvent(ev)
 	}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 )
 
@@ -61,86 +60,38 @@ func Encode(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Decode reads a trace in the binary format from r.
+// Decode reads a trace in either binary format (the sequential v1 layout
+// or the chunked v2 layout) from r and materializes it. The decoder is a
+// thin loop over Reader, so both versions share one validation path:
+// kind bytes outside the known range and truncated or corrupt input are
+// rejected, never silently accepted.
 func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(head) != magic {
-		return nil, errors.New("trace: bad magic")
-	}
-	ver, err := br.ReadByte()
+	rd, err := NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
-	}
-	t := &Trace{}
-	if t.App, err = readString(br); err != nil {
-		return nil, err
-	}
-	if t.Layer, err = readString(br); err != nil {
-		return nil, err
-	}
-	threads, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	t.Threads = int(threads)
-	if t.VolatileLoads, err = binary.ReadUvarint(br); err != nil {
-		return nil, err
-	}
-	if t.VolatileStores, err = binary.ReadUvarint(br); err != nil {
-		return nil, err
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	// The count is attacker-controlled input: a corrupt or truncated file
-	// can claim 2^60 events and the first event read would only fail after
-	// a multi-GiB allocation. Cap the pre-allocation and let append grow
-	// the slice; honest traces larger than the cap pay a few reallocations.
-	prealloc := count
+	t := &Trace{App: rd.meta.App, Layer: rd.meta.Layer, Threads: rd.meta.Threads}
+	// The v1 count is attacker-controlled input: a corrupt or truncated
+	// file can claim 2^60 events and the first event read would only fail
+	// after a multi-GiB allocation. Cap the pre-allocation and let append
+	// grow the slice; honest traces larger than the cap pay a few
+	// reallocations. (v2 carries no up-front count; rd.remaining is 0.)
+	prealloc := rd.remaining
 	if prealloc > maxPreallocEvents {
 		prealloc = maxPreallocEvents
 	}
 	t.Events = make([]Event, 0, prealloc)
-	var prevTime, prevAddr uint64
-	for i := uint64(0); i < count; i++ {
-		kind, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+	for {
+		e, err := rd.Next()
+		if err == io.EOF {
+			break
 		}
-		tid, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
 		}
-		dt, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, err
-		}
-		da, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, err
-		}
-		size, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		prevTime += uint64(dt)
-		prevAddr += uint64(da)
-		t.Events = append(t.Events, Event{
-			Kind: Kind(kind),
-			TID:  int32(tid),
-			Time: memTime(prevTime),
-			Addr: memAddr(prevAddr),
-			Size: uint32(size),
-		})
+		t.Events = append(t.Events, e)
 	}
+	t.VolatileLoads, t.VolatileStores = rd.Volatile()
 	return t, nil
 }
 

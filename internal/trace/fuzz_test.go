@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"github.com/whisper-pm/whisper/internal/mem"
@@ -54,6 +55,97 @@ func FuzzDecode(f *testing.F) {
 			if tr.Events[i] != tr2.Events[i] {
 				t.Fatalf("round trip changed event %d", i)
 			}
+		}
+	})
+}
+
+// FuzzReaderV2 targets the chunked v2 block reader specifically: truncated
+// blocks, corrupted CRCs, and lying block counts must error — never panic
+// or allocate beyond the framing caps. The corpus is seeded with real
+// encoded blocks (whole v2 streams plus hand-truncated and bit-flipped
+// variants) so the fuzzer starts inside the format.
+func FuzzReaderV2(f *testing.F) {
+	seedTrace := &Trace{
+		App: "ycsb", Layer: "native", Threads: 2,
+		VolatileLoads: 7, VolatileStores: 3,
+		Events: []Event{
+			{Time: 10, Addr: mem.PMBase, Size: 8, TID: 0, Kind: KStore},
+			{Time: 12, Addr: mem.PMBase + 64, Size: 64, TID: 1, Kind: KFlush},
+			{Time: 13, TID: 1, Kind: KFence},
+			{Time: 14, TID: 0, Kind: KTxEnd},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, seedTrace); err != nil {
+		f.Fatalf("seed encode: %v", err)
+	}
+	whole := buf.Bytes()
+	f.Add(append([]byte(nil), whole...))
+	// Real encoded blocks, truncated at several offsets inside the frames.
+	for _, cut := range []int{len(whole) - 1, len(whole) - 5, len(whole) / 2, 20} {
+		if cut > 0 && cut < len(whole) {
+			f.Add(append([]byte(nil), whole[:cut]...))
+		}
+	}
+	// Bit flips in the block payload and in the CRC region.
+	for _, off := range []int{20, len(whole) / 2, len(whole) - 2} {
+		flipped := append([]byte(nil), whole...)
+		flipped[off] ^= 0x10
+		f.Add(flipped)
+	}
+	// A multi-block stream so the fuzzer sees inter-block delta resets.
+	big := &Trace{App: "b", Layer: "native", Threads: 1}
+	for i := 0; i < DefaultBlockEvents+10; i++ {
+		big.Append(Event{Kind: KStore, Time: mem.Time(i), Addr: mem.PMBase + mem.Addr(i*8), Size: 8})
+	}
+	buf.Reset()
+	if err := EncodeV2(&buf, big); err != nil {
+		f.Fatalf("seed encode: %v", err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+	f.Add([]byte("WSPR\x02\x04echo\x06native\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var n int
+		for {
+			_, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Errors must be sticky: a second Next never resumes.
+				if _, err2 := rd.Next(); err2 == nil || err2 == io.EOF {
+					t.Fatalf("reader resumed after error %v", err)
+				}
+				return
+			}
+			n++
+			if n > maxBlockEvents*64 {
+				t.Fatalf("reader produced an implausible number of events from %d input bytes", len(data))
+			}
+		}
+		if rd.Version() != version2 {
+			return
+		}
+		// Fully accepted v2 stream: must re-encode and decode identically.
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("Decode failed on stream Reader accepted: %v", err)
+		}
+		buf := &bytes.Buffer{}
+		if err := EncodeV2(buf, tr); err != nil {
+			t.Fatalf("re-encode of accepted v2 trace failed: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded v2 trace failed: %v", err)
+		}
+		if len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("v2 round trip changed event count")
 		}
 	})
 }

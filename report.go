@@ -18,7 +18,8 @@ type Report struct {
 	Layer string
 
 	// Trace is the raw recorded trace (reusable for HOPS simulation or
-	// offline analysis).
+	// offline analysis). It is nil for reports produced by the streaming
+	// path (RunStream, AnalyzeReader), which never materializes events.
 	Trace *Trace
 
 	// TotalEpochs is the number of epochs (store sets between sfences).
@@ -55,7 +56,13 @@ type Report struct {
 var SizeBucketLabels = epoch.SizeBucketLabels
 
 func analyze(t *Trace) *Report {
-	a := epoch.Analyze(t.tr)
+	return newReport(epoch.Analyze(t.tr), t)
+}
+
+// newReport shapes an epoch analysis into the public Report. t may be nil
+// when the analysis came from the streaming path, which never materializes
+// a trace.
+func newReport(a *epoch.Analysis, t *Trace) *Report {
 	return &Report{
 		App:                    a.App,
 		Layer:                  a.Layer,
