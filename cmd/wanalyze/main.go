@@ -8,9 +8,13 @@
 //
 // Usage:
 //
-//	wanalyze -run [-fig3] [-fig4] [-fig5] [-amp] [-nti]
+//	wanalyze -run [-fig3] [-fig4] [-fig5] [-amp] [-nti] [-san]
 //	wanalyze -dir traces/ -fig3
 //	wanalyze -run -metrics out.json
+//
+// -san additionally replays each trace through the durability-ordering
+// sanitizer (internal/pmsan) and prints one report per app; exit status
+// is 1 if any ordering error is found.
 //
 // With no figure flags, everything prints. Exit status is 1 when there is
 // nothing to analyze or a trace fails to load, 2 on usage errors.
@@ -58,14 +62,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fig5 := fs.Bool("fig5", false, "print Figure 5 (dependencies)")
 	amp := fs.Bool("amp", false, "print write amplification (§5.2)")
 	nti := fs.Bool("nti", false, "print NTI fractions (§5.2)")
+	san := fs.Bool("san", false, "run the durability-ordering sanitizer over each trace; exit 1 on ordering errors")
 	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	all := !*fig3 && !*fig4 && !*fig5 && !*amp && !*nti
+	// -san acts as a section selector like the figure flags: alone it
+	// prints only the sanitizer reports.
+	all := !*fig3 && !*fig4 && !*fig5 && !*amp && !*nti && !*san
 
-	reports, err := collect(*runSuite, *dir, *ops, *seed, *parallel, *stream)
+	reports, sanReports, err := collect(*runSuite, *dir, *ops, *seed, *parallel, *stream, *san)
 	if err != nil {
 		fmt.Fprintln(stderr, "wanalyze:", err)
 		return 1
@@ -136,45 +143,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %-12.1f %s\n", r.App, r.NTIFraction*100, ref)
 		}
 	}
+	sanErrors := 0
+	if *san {
+		fmt.Fprintln(stdout, "== Sanitizer: durability-ordering violations ==")
+		for _, sr := range sanReports {
+			fmt.Fprint(stdout, sr.String())
+			sanErrors += sr.Errors()
+		}
+	}
 	if err := cliutil.WriteMetrics(*metrics); err != nil {
 		fmt.Fprintln(stderr, "wanalyze:", err)
+		return 1
+	}
+	if sanErrors > 0 {
+		fmt.Fprintf(stderr, "wanalyze: sanitizer found %d ordering error sites\n", sanErrors)
 		return 1
 	}
 	return 0
 }
 
-func collect(run bool, dir string, ops int, seed int64, parallel int, stream bool) ([]*whisper.Report, error) {
+// collect gathers one analysis report per app, plus one sanitizer report
+// per app when san is set. The sanitizer slice is index-aligned with the
+// reports slice.
+func collect(run bool, dir string, ops int, seed int64, parallel int, stream, san bool) ([]*whisper.Report, []*whisper.SanReport, error) {
 	if run {
+		cfg := whisper.Config{Ops: ops, Seed: seed}
 		if stream {
 			// Pipe each app's events straight into the sharded analysis;
 			// reports are identical to the materialized path (minus the
-			// retained trace), so every figure below is unchanged.
+			// retained trace), so every figure below is unchanged. The
+			// sanitizer taps the same stream inline.
 			var out []*whisper.Report
+			var sans []*whisper.SanReport
 			for _, name := range whisper.Names() {
-				r, err := whisper.RunStream(name, whisper.Config{Ops: ops, Seed: seed}, nil)
+				var r *whisper.Report
+				var sr *whisper.SanReport
+				var err error
+				if san {
+					r, sr, err = whisper.RunStreamSanitized(name, cfg, nil)
+				} else {
+					r, err = whisper.RunStream(name, cfg, nil)
+				}
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				out = append(out, r)
+				if sr != nil {
+					sans = append(sans, sr)
+				}
 			}
-			return out, nil
+			return out, sans, nil
 		}
 		// Suite members are independent runs; regenerate them concurrently.
 		// Reports are identical to serial regeneration for a fixed seed.
-		return whisper.RunAllParallel(whisper.Config{Ops: ops, Seed: seed}, parallel)
+		out, err := whisper.RunAllParallel(cfg, parallel)
+		if err != nil {
+			return nil, nil, err
+		}
+		var sans []*whisper.SanReport
+		if san {
+			for _, r := range out {
+				sans = append(sans, whisper.Sanitize(r.Trace))
+			}
+		}
+		return out, sans, nil
 	}
 	if dir == "" {
-		return nil, nil
+		return nil, nil, nil
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "*.wspr"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []*whisper.Report
+	var sans []*whisper.SanReport
 	for _, path := range matches {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var rep *whisper.Report
 		if stream {
@@ -188,9 +234,23 @@ func collect(run bool, dir string, ops int, seed int64, parallel int, stream boo
 		}
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", path, err)
+			return nil, nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if san {
+			// Saved traces sanitize from disk in both modes: reopen and
+			// stream the codec straight into the state machine.
+			sf, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			sr, err := whisper.SanitizeReader(sf)
+			sf.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %v", path, err)
+			}
+			sans = append(sans, sr)
 		}
 		out = append(out, rep)
 	}
-	return out, nil
+	return out, sans, nil
 }

@@ -132,3 +132,39 @@ func TestStreamFlagOutputIdentical(t *testing.T) {
 		t.Errorf("-stream changed -dir output:\nplain:\n%s\nstreamed:\n%s", plain.String(), streamed.String())
 	}
 }
+
+// TestSanFlag pins the sanitizer section: -san alone prints only the
+// sanitizer reports, the output is byte-identical between the saved-trace
+// and streaming paths, and a clean suite exits 0.
+func TestSanFlag(t *testing.T) {
+	traceDir := t.TempDir()
+	rep, err := whisper.Run("hashmap", whisper.Config{Clients: 2, Ops: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(traceDir, "hashmap.wspr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Trace.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var plain, streamed bytes.Buffer
+	if code := run([]string{"-dir", traceDir, "-san"}, &plain, &plain); code != 0 {
+		t.Fatalf("-san run failed: %s", plain.String())
+	}
+	if code := run([]string{"-dir", traceDir, "-san", "-stream"}, &streamed, &streamed); code != 0 {
+		t.Fatalf("-san -stream run failed: %s", streamed.String())
+	}
+	if plain.String() != streamed.String() {
+		t.Errorf("-stream changed -san output:\nplain:\n%s\nstreamed:\n%s", plain.String(), streamed.String())
+	}
+	if !strings.Contains(plain.String(), "pmsan: app=hashmap") {
+		t.Errorf("no sanitizer report in output:\n%s", plain.String())
+	}
+	if strings.Contains(plain.String(), "Figure") {
+		t.Errorf("-san alone printed figures:\n%s", plain.String())
+	}
+}

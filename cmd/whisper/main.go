@@ -5,7 +5,12 @@
 // Usage:
 //
 //	whisper [-bench name] [-clients n] [-ops n] [-seed n] [-parallel n] [-trace dir] [-table1]
-//	        [-metrics out.json] [-debug-addr :6060]
+//	        [-san] [-san-allow file] [-metrics out.json] [-debug-addr :6060]
+//
+// -san replays every run through the durability-ordering sanitizer
+// (internal/pmsan) and prints one report per app after the benchmark
+// output; the process exits 1 if any unsuppressed ordering error
+// remains. -san-allow loads an allowlist of known findings to suppress.
 //
 // With no -bench, the whole suite runs, up to -parallel benchmarks at a
 // time (default: one worker per CPU). Each run owns its own simulated
@@ -41,9 +46,21 @@ func main() {
 	traceDir := flag.String("trace", "", "directory to save raw traces")
 	stream := flag.Bool("stream", false, "pipe each run through the streaming analysis (bounded memory, serial; -trace saves chunked v2 traces)")
 	table1 := flag.Bool("table1", false, "print only the Table 1 epoch-rate rows")
+	san := flag.Bool("san", false, "run the durability-ordering sanitizer over each run; exit 1 on unsuppressed ordering errors")
+	sanAllow := flag.String("san-allow", "", "allowlist file of known sanitizer findings to suppress (implies -san)")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	flag.Parse()
+
+	var allow *whisper.Allowlist
+	if *sanAllow != "" {
+		*san = true
+		var err error
+		if allow, err = whisper.LoadAllowlist(*sanAllow); err != nil {
+			fmt.Fprintln(os.Stderr, "whisper:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *debugAddr != "" {
 		// The metrics registry is atomic end to end, so scraping it while
@@ -66,18 +83,24 @@ func main() {
 	}
 
 	var reports []*whisper.Report
+	var sanReports []*whisper.SanReport
 	switch {
 	case *stream:
 		// The streaming path analyzes each run's events as they are
 		// produced and never materializes a trace; runs execute serially
-		// (the app and its analysis already pipeline within one run).
+		// (the app and its analysis already pipeline within one run). The
+		// sanitizer taps the same stream inline, so -san costs no extra
+		// pass and no retained trace.
 		for _, name := range names {
-			rep, err := runStreamed(name, cfg, *traceDir)
+			rep, sanRep, err := runStreamed(name, cfg, *traceDir, *san)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			reports = append(reports, rep)
+			if sanRep != nil {
+				sanReports = append(sanReports, sanRep)
+			}
 		}
 	case *bench != "":
 		rep, err := whisper.Run(*bench, cfg)
@@ -92,6 +115,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+	if *san && len(sanReports) == 0 {
+		// Materialized paths retain each trace; sanitize them here. Report
+		// order follows the (deterministic) run order, so the rendered
+		// output is byte-identical to the streaming path.
+		for _, rep := range reports {
+			sanReports = append(sanReports, whisper.Sanitize(rep.Trace))
 		}
 	}
 
@@ -118,33 +149,60 @@ func main() {
 			}
 		}
 	}
+	sanErrors := 0
+	for _, sr := range sanReports {
+		sr.ApplyAllowlist(allow)
+		fmt.Print(sr.String())
+		sanErrors += sr.Errors()
+	}
 	if err := cliutil.WriteMetrics(*metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "whisper:", err)
+		os.Exit(1)
+	}
+	if sanErrors > 0 {
+		fmt.Fprintf(os.Stderr, "whisper: sanitizer found %d unsuppressed ordering error sites\n", sanErrors)
 		os.Exit(1)
 	}
 }
 
 // runStreamed runs one benchmark through the streaming pipeline, teeing
-// its events to <dir>/<name>.wspr in the v2 format when dir is set.
-func runStreamed(name string, cfg whisper.Config, dir string) (*whisper.Report, error) {
-	if dir == "" {
-		return whisper.RunStream(name, cfg, nil)
+// its events to <dir>/<name>.wspr in the v2 format when dir is set, with
+// the sanitizer tapping the stream inline when san is set.
+func runStreamed(name string, cfg whisper.Config, dir string, san bool) (*whisper.Report, *whisper.SanReport, error) {
+	var f *os.File
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		var err error
+		if f, err = os.Create(filepath.Join(dir, name+".wspr")); err != nil {
+			return nil, nil, err
+		}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	var rep *whisper.Report
+	var sanRep *whisper.SanReport
+	var err error
+	if san {
+		// f is a *os.File; pass an untyped nil when no tee is wanted.
+		if f != nil {
+			rep, sanRep, err = whisper.RunStreamSanitized(name, cfg, f)
+		} else {
+			rep, sanRep, err = whisper.RunStreamSanitized(name, cfg, nil)
+		}
+	} else if f != nil {
+		rep, err = whisper.RunStream(name, cfg, f)
+	} else {
+		rep, err = whisper.RunStream(name, cfg, nil)
 	}
-	f, err := os.Create(filepath.Join(dir, name+".wspr"))
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rep, err := whisper.RunStream(name, cfg, f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
-	return rep, nil
+	return rep, sanRep, nil
 }
 
 func saveTrace(dir, name string, rep *whisper.Report) error {

@@ -140,7 +140,16 @@ type Tx struct {
 	th    *persist.Thread
 	start int // first WAL slot of this transaction
 	n     int // undo entries
-	dirty []dirtyRange
+	// dirty tracks the cache lines of deferred in-place writes. The value
+	// records whether the line still needs the commit-time flush: inline
+	// flushes issued later in the transaction (an undo record, a
+	// neighbouring tuple's insert or its allocator header — 72-byte
+	// tuples straddle lines, so slab neighbours share them) clear it via
+	// the thread's flush hook, because a line-granular flush covers the
+	// deferred bytes too and every inline flush here is immediately
+	// fenced. Re-flushing such a line at commit is exactly Bentō's
+	// redundant-flush smell.
+	dirty map[mem.Line]bool
 	// indexUndo records volatile-index mutations so Abort can roll the
 	// in-DRAM index back in step with the persistent chains it mirrors.
 	indexUndo []indexUndo
@@ -152,10 +161,6 @@ type indexUndo struct {
 	had  bool
 }
 
-type dirtyRange struct {
-	addr mem.Addr
-	size int
-}
 
 // Begin opens a transaction for thread tid on its partition.
 func (db *DB) Begin(tid int) *Tx {
@@ -167,7 +172,20 @@ func (db *DB) Begin(tid int) *Tx {
 	th.StoreU64(p.walDesc+8, p.walGen)
 	th.StoreU64(p.walDesc+16, uint64(p.walNext))
 	th.FlushFence(p.walDesc, 24)
-	return &Tx{db: db, p: p, th: th, start: p.walNext}
+	tx := &Tx{db: db, p: p, th: th, start: p.walNext, dirty: make(map[mem.Line]bool)}
+	th.SetFlushHook(tx.noteFlushed)
+	return tx
+}
+
+// noteFlushed marks deferred-dirty lines covered by an inline flush as
+// clean; commit skips them. Runs for every flush the thread issues while
+// the transaction is open.
+func (tx *Tx) noteFlushed(a mem.Addr, size int) {
+	for _, l := range mem.Lines(a, size) {
+		if tx.dirty[l] {
+			tx.dirty[l] = false
+		}
+	}
 }
 
 func (p *partition) slotAddr(slot int) mem.Addr {
@@ -208,8 +226,11 @@ func (tx *Tx) undo(a mem.Addr, size int) {
 // commit (OPTWAL/NVML behaviour the paper observes in §5.1).
 func (tx *Tx) write(a mem.Addr, data []byte) {
 	tx.th.Store(a, data)
-	tx.dirty = append(tx.dirty, dirtyRange{a, len(data)})
+	for _, l := range mem.Lines(a, len(data)) {
+		tx.dirty[l] = true
+	}
 }
+
 
 // Insert adds a tuple with the given key, attributes and varchar payload.
 func (tx *Tx) Insert(key uint64, attrs [nAttrs]uint64, varchar string) {
@@ -223,12 +244,24 @@ func (tx *Tx) Insert(key uint64, attrs [nAttrs]uint64, varchar string) {
 	// transition this is the three-write state pattern of §5.1.
 	p.slab.SetState(th, t, alloc.StateVolatile)
 
+	// The bucket chain head becomes the new tuple's chain pointer; bake
+	// it into the tuple image so a single store+flush+fence persists the
+	// complete tuple. (Writing the chain word in place after the tuple
+	// flush deferred its line to the commit-time flush — redundant
+	// whenever a neighbouring tuple's flush had already covered the
+	// shared line, since 72-byte tuples straddle cache lines. No undo is
+	// needed for the chain word: an aborted insert's block is reclaimed
+	// via the state variable.)
+	bucket := p.buckets + mem.Addr(int(key%uint64(tx.db.cfg.Buckets))*8)
+	head := th.LoadU64(bucket)
+
 	var buf [tSize]byte
 	binary.LittleEndian.PutUint64(buf[tKey:], key)
 	for i, v := range attrs {
 		binary.LittleEndian.PutUint64(buf[tAttrs+i*8:], v)
 	}
 	copy(buf[tVar:tSize-8], varchar) // the last word is the chain slot
+	binary.LittleEndian.PutUint64(buf[tSize-8:], head)
 	th.Store(t, buf[:])
 	th.Flush(t, tSize)
 	th.Fence()
@@ -236,34 +269,17 @@ func (tx *Tx) Insert(key uint64, attrs [nAttrs]uint64, varchar string) {
 
 	p.slab.SetState(th, t, alloc.StatePersistent)
 
-	// Link into the persistent index chain under undo protection: the
-	// bucket pointer is the only index word mutated.
-	bucket := p.buckets + mem.Addr(int(key%uint64(tx.db.cfg.Buckets))*8)
+	// Publish: link the tuple at the head of the bucket chain under undo
+	// protection — the bucket pointer is the only index word mutated.
 	tx.undo(bucket, 8)
-	head := th.LoadU64(bucket)
-	// Tuple's key field doubles as index chain via high half? No — keep a
-	// separate chain word: reuse attr slot? Simplest: tuples are unique
-	// per bucket chain stored in a chain header before the tuple.
-	_ = head
 	var ptr [8]byte
 	binary.LittleEndian.PutUint64(ptr[:], uint64(t))
 	tx.write(bucket, ptr[:])
-	// Chain: store the previous head in the tuple's last varchar word —
-	// reserved chain slot.
-	tx.undoFresh(t+tSize-8, head)
 
 	prev, had := p.index[key]
 	tx.indexUndo = append(tx.indexUndo, indexUndo{key: key, prev: prev, had: had})
 	p.index[key] = t
 	th.VStore(0, 2)
-}
-
-// undoFresh writes a chain pointer into a freshly allocated tuple (no
-// undo needed: the block is reclaimed on abort via the state variable).
-func (tx *Tx) undoFresh(a mem.Addr, v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	tx.write(a, buf[:])
 }
 
 // Update overwrites attribute idx and the varchar of the tuple with key.
@@ -306,10 +322,21 @@ func (tx *Tx) Read(key uint64, idx int) (uint64, bool) {
 // the log entries one epoch each.
 func (tx *Tx) Commit() {
 	th := tx.th
-	for _, d := range tx.dirty {
-		th.Flush(d.addr, d.size)
+	th.SetFlushHook(nil)
+	// Flush each still-dirty line exactly once, in address order (the
+	// map is iterated via Coalesce's sort, so commit event streams are
+	// deterministic). Lines an inline flush already covered are skipped.
+	spans := make([]mem.Span, 0, len(tx.dirty))
+	for l, need := range tx.dirty {
+		if need {
+			spans = append(spans, mem.Span{Addr: mem.LineAddr(l), Size: mem.LineSize})
+		}
 	}
-	if len(tx.dirty) > 0 {
+	flushes := mem.Coalesce(spans)
+	for _, s := range flushes {
+		th.Flush(s.Addr, s.Size)
+	}
+	if len(flushes) > 0 {
 		th.Fence()
 	}
 	th.StoreU64(tx.p.walDesc, walCommitted)
@@ -321,6 +348,7 @@ func (tx *Tx) Commit() {
 // Abort rolls back from the undo log (reverse order) and releases.
 func (tx *Tx) Abort() {
 	th := tx.th
+	th.SetFlushHook(nil)
 	for i := tx.n - 1; i >= 0; i-- {
 		e := tx.p.slotAddr(tx.start + i)
 		a := mem.Addr(th.LoadU64(e))

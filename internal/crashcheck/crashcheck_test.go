@@ -8,6 +8,8 @@ import (
 	"github.com/whisper-pm/whisper/internal/mem"
 	"github.com/whisper-pm/whisper/internal/persist"
 	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/pmsan"
+	"github.com/whisper-pm/whisper/internal/trace"
 )
 
 // TestRecoveryMatrix is the table-driven per-app recovery test: every suite
@@ -228,5 +230,78 @@ func TestDecodeSnapshotRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := DecodeSnapshot(bytes.NewReader(valid)); err != nil {
 		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+// txKV wraps naiveKV's operations in TxBegin/TxEnd brackets so the pmsan
+// sanitizer sees the commit points the crash checker probes.
+type txKV struct{ naiveKV }
+
+func (n *txKV) Do(k int) {
+	th := n.rt.Thread(0)
+	th.TxBegin()
+	n.naiveKV.Do(k)
+	th.TxEnd()
+}
+
+// TestSanitizerCrashCheckCrossValidate pins the agreement between pmsan's
+// static verdict and crashcheck's dynamic one on the bracketed KV: the
+// unfenced variant must show dirty-at-commit lines AND crash-injectable
+// inconsistencies — and every flagged line must lie in the region the
+// recovery oracle checks — while the fenced twin shows neither.
+func TestSanitizerCrashCheckCrossValidate(t *testing.T) {
+	cfg := Config{Clients: 1, Ops: 6, Seeds: []int64{1, 2}, Points: []int{1, 3, 5}}
+
+	for _, fenced := range []bool{false, true} {
+		// Straight-line run for the sanitizer.
+		rt := persist.NewRuntime("tx-kv", "native", 1, persist.Config{})
+		app := &txKV{naiveKV{fenced: fenced}}
+		app.Setup(rt, 1, cfg.Ops, 1)
+		for k := 0; k < cfg.Ops; k++ {
+			app.Do(k)
+		}
+		rep, err := pmsan.Run(trace.NewSliceSource(rt.Trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Crash matrix for the checker.
+		res, err := checkEntry(entry{
+			name: "tx-kv", layer: "native",
+			factory: func() App { return &txKV{naiveKV{fenced: fenced}} },
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dirty := rep.Sites(pmsan.DirtyAtCommit)
+		if fenced {
+			if rep.Errors() != 0 {
+				t.Errorf("fenced twin: sanitizer reports %d errors:\n%s", rep.Errors(), rep)
+			}
+			if !res.Ok() {
+				t.Errorf("fenced twin: crash matrix found %d violations", len(res.Violations))
+			}
+			continue
+		}
+		if dirty == 0 {
+			t.Errorf("unfenced variant: no dirty-at-commit sites:\n%s", rep)
+		}
+		if res.Ok() {
+			t.Errorf("unfenced variant: crash matrix found nothing despite %d dirty-at-commit lines", dirty)
+		}
+		// Every dirty-at-commit line must fall inside the KV's persistent
+		// region — the exact state the recovery oracle validates, so each
+		// flagged line is a crash-injectable inconsistency, not noise.
+		lo, hi := app.base, app.base+mem.Addr(8+cfg.Ops*16)
+		for _, v := range rep.Violations {
+			if v.Class != pmsan.DirtyAtCommit {
+				continue
+			}
+			la := mem.LineAddr(v.Line)
+			if la+mem.LineSize <= lo || la >= hi {
+				t.Errorf("dirty-at-commit line %#x outside the checked region [%#x,%#x)", uint64(la), uint64(lo), uint64(hi))
+			}
+		}
 	}
 }

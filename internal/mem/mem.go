@@ -9,7 +9,10 @@
 // addresses at or above PMBase are persistent memory.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // LineSize is the cache-line granularity used throughout the paper: epochs
 // are measured in unique 64 B lines, flushes operate on lines, and the
@@ -76,6 +79,50 @@ func Lines(a Addr, size int) []Line {
 	out := make([]Line, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, LineOf(a)+Line(i))
+	}
+	return out
+}
+
+// Span is a byte range [Addr, Addr+Size). Zero and negative sizes span
+// nothing.
+type Span struct {
+	Addr Addr
+	Size int
+}
+
+// Coalesce returns line-aligned spans covering exactly the distinct
+// cache lines touched by spans, merged into maximal contiguous runs and
+// sorted by address. Transaction layers use it to issue commit-time
+// flushes once per dirty line: per-write dirty ranges routinely overlap
+// within a line (e.g. two fields of one inode), and flushing them
+// verbatim re-flushes lines that are already clean.
+func Coalesce(spans []Span) []Span {
+	lines := make([]Line, 0, len(spans))
+	for _, s := range spans {
+		n := LinesSpanned(s.Addr, s.Size)
+		first := LineOf(s.Addr)
+		for i := 0; i < n; i++ {
+			lines = append(lines, first+Line(i))
+		}
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	out := make([]Span, 0, len(lines))
+	for _, l := range lines {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			end := prev.Addr + Addr(prev.Size)
+			if LineAddr(l) < end { // duplicate line
+				continue
+			}
+			if LineAddr(l) == end { // contiguous: extend the run
+				prev.Size += LineSize
+				continue
+			}
+		}
+		out = append(out, Span{Addr: LineAddr(l), Size: LineSize})
 	}
 	return out
 }

@@ -273,8 +273,14 @@ func (tx *Tx) commit() {
 
 func (tx *Tx) abort() {
 	// Without a commit record the log entries are invalid; shadow values
-	// are dropped. Truncation happens in Run, after the bracket.
-	tx.th.Fence() // drain any buffered NT log records
+	// are dropped. Truncation happens in Run, after the bracket. Only
+	// drain the write-combining buffers when log records were actually
+	// appended: an aborted read-only transaction has nothing in flight,
+	// and an unconditional sfence here orders nothing (the exact smell
+	// pmsan reports as fence-without-work).
+	if tx.logPos > tx.h.logs[tx.th.ID()]+entryOffset {
+		tx.th.Fence() // drain the buffered NT log records
+	}
 }
 
 // truncateLog resets the log state and clears the entries (asynchronous

@@ -9,6 +9,7 @@ import (
 	"github.com/whisper-pm/whisper/internal/mem"
 	"github.com/whisper-pm/whisper/internal/persist"
 	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/pmsan"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
 
@@ -354,4 +355,39 @@ func TestLogOverflowPanics(t *testing.T) {
 			tx.Write(a+mem.Addr((i%4096/8)*8), []byte("xxxxxxxx"))
 		}
 	})
+}
+
+func TestReadOnlyAbortIssuesNoFence(t *testing.T) {
+	// An aborted transaction that never appended a log record has no NT
+	// stores in flight; its abort path must not fence (pmsan's
+	// fence-without-work diagnostic). An aborted tx *with* log records
+	// still drains them.
+	rt, th, h := newHeap(Options{})
+	a := h.PMalloc(th, 64)
+	h.Run(th, func(tx *Tx) error {
+		tx.Read(a, 8) // read-only
+		tx.Abort()
+		return nil
+	})
+	rep, err := pmsan.Run(trace.NewSliceSource(rt.Trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 0 {
+		t.Fatalf("ordering errors:\n%s", rep)
+	}
+	if n := rep.Sites(pmsan.FenceNoWork); n != 0 {
+		t.Fatalf("read-only abort fenced nothing useful: %d sites\n%s", n, rep)
+	}
+
+	// A writing abort must still fence its buffered log records.
+	fences := rt.Trace.CountKind(trace.KFence)
+	h.Run(th, func(tx *Tx) error {
+		tx.Write(a, []byte{7}) // appends an undo record (NT stores)
+		tx.Abort()
+		return nil
+	})
+	if rt.Trace.CountKind(trace.KFence) == fences {
+		t.Fatal("writing abort issued no fence for its log records")
+	}
 }

@@ -97,7 +97,7 @@ type Tx struct {
 	th      *persist.Thread
 	logPos  mem.Addr
 	logged  []dirtyRange     // ranges captured in the undo log
-	dirty   []dirtyRange     // in-place writes awaiting commit-time flush
+	dirty   []mem.Span       // in-place writes awaiting commit-time flush
 	fresh   map[mem.Addr]int // allocations made in this tx (addr -> size)
 	frees   []mem.Addr       // frees deferred to commit
 	aborted bool
@@ -221,7 +221,7 @@ func (tx *Tx) Write(a mem.Addr, data []byte) {
 		panic(fmt.Sprintf("nvml: write to %v outside AddRange (stray update)", a))
 	}
 	tx.th.Store(a, data)
-	tx.dirty = append(tx.dirty, dirtyRange{a, len(data)})
+	tx.dirty = append(tx.dirty, mem.Span{Addr: a, Size: len(data)})
 }
 
 // Set is the AddRange+Write convenience used by NVML macros.
@@ -299,10 +299,15 @@ func (tx *Tx) commit() {
 	logBase := tx.p.logs[th.ID()]
 
 	// Flush all in-place data writes and fence: the deferred-flush epoch.
-	for _, d := range tx.dirty {
-		th.Flush(d.addr, d.size)
+	// Coalesce the per-Write dirty ranges to one flush per distinct line —
+	// a transaction updating several fields of one node (ctree keys, redis
+	// entry header+value) would otherwise flush the shared line once per
+	// Write call.
+	flushes := mem.Coalesce(tx.dirty)
+	for _, s := range flushes {
+		th.Flush(s.Addr, s.Size)
 	}
-	if len(tx.dirty) > 0 {
+	if len(flushes) > 0 {
 		th.Fence()
 	}
 

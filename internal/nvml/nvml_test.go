@@ -9,6 +9,7 @@ import (
 	"github.com/whisper-pm/whisper/internal/mem"
 	"github.com/whisper-pm/whisper/internal/persist"
 	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/pmsan"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
 
@@ -343,5 +344,46 @@ func TestDoubleAddRangeSingleRecord(t *testing.T) {
 	}
 	if with, without := run(true), run(false); with != without {
 		t.Errorf("duplicate AddRange changed epoch count: %d vs %d", with, without)
+	}
+}
+
+// sanReplay runs the pmsan durability-ordering sanitizer over the
+// runtime's trace.
+func sanReplay(t *testing.T, rt *persist.Runtime) *pmsan.Report {
+	t.Helper()
+	rep, err := pmsan.Run(trace.NewSliceSource(rt.Trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCommitFlushesCoalesced(t *testing.T) {
+	// Several Writes into the same cache line must produce one commit
+	// flush of that line, not one flush per Write — the redundant-flush
+	// smell pmsan reports. The dedupe must not weaken durability.
+	rt, th, p := newPool(Options{})
+	var a mem.Addr
+	err := p.Run(th, func(tx *Tx) error {
+		a = tx.Alloc(64)
+		tx.Write(a, []byte("field-a!"))
+		tx.Write(a+8, []byte("field-b!"))
+		tx.Write(a+16, []byte("field-c!"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"field-a!", "field-b!", "field-c!"} {
+		if got := rt.Dev.Durable(a, 24); !bytes.Contains(got, []byte(want)) {
+			t.Fatalf("durable image %q missing %q", got, want)
+		}
+	}
+	rep := sanReplay(t, rt)
+	if rep.Errors() != 0 {
+		t.Fatalf("ordering errors in nvml trace:\n%s", rep)
+	}
+	if n := rep.Sites(pmsan.RedundantFlush); n != 0 {
+		t.Fatalf("redundant flushes after coalescing: %d sites\n%s", n, rep)
 	}
 }

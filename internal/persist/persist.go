@@ -177,6 +177,14 @@ type Thread struct {
 	// orderingPoints counts the thread's fences (the paper's ordering
 	// points, §5.1).
 	orderingPoints *obs.Counter
+
+	// flushHook, when set, observes every non-empty flush this thread
+	// issues. Transaction engines that defer data flushes to commit use
+	// it to learn which deferred-dirty lines an inline flush (an undo
+	// record, a neighbouring allocation's header) has already covered, so
+	// commit does not re-flush clean lines — the redundant-flush smell
+	// the pmsan sanitizer reports.
+	flushHook func(a mem.Addr, size int)
 }
 
 // ID returns the thread's index.
@@ -232,11 +240,25 @@ func (t *Thread) Load(a mem.Addr, size int) []byte {
 }
 
 // Flush issues CLWB for the lines overlapping [a, a+size) (PM_FLUSH).
+// A size <= 0 flush covers no lines and is a complete no-op: no device
+// call, no simulated time, no event. (It used to emit a zero-length
+// KFlush that downstream consumers counted as a flushed line.)
 func (t *Thread) Flush(a mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
 	t.rt.Dev.Flush(t.id, a, size)
 	t.tick(2)
 	t.emit(trace.KFlush, a, size)
+	if t.flushHook != nil {
+		t.flushHook(a, size)
+	}
 }
+
+// SetFlushHook installs (or, with nil, removes) the thread's flush
+// observer. At most one hook is active per thread; the typical owner is
+// an open transaction, installed at begin and removed at commit/abort.
+func (t *Thread) SetFlushHook(h func(a mem.Addr, size int)) { t.flushHook = h }
 
 // Fence issues SFENCE (PM_FENCE): all outstanding flushes and NT stores of
 // this thread become durable, and the thread's current epoch ends.
@@ -362,8 +384,14 @@ func (t *Thread) Memset(a mem.Addr, b byte, n int) {
 }
 
 // FlushFence flushes [a, a+size) and fences — the clwb;sfence idiom of
-// native persistence (Figure 1a).
+// native persistence (Figure 1a). Like Flush, size <= 0 is a complete
+// no-op: there is nothing to make durable, so no fence is issued either
+// (an unconditional fence here would order nothing — the exact smell
+// the sanitizer flags as fence-without-work).
 func (t *Thread) FlushFence(a mem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
 	t.Flush(a, size)
 	t.Fence()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"github.com/whisper-pm/whisper/internal/mem"
 	"github.com/whisper-pm/whisper/internal/pmem"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
@@ -205,5 +206,71 @@ func TestThreadIdentity(t *testing.T) {
 	}
 	if rt.Thread(0).Runtime() != rt {
 		t.Error("Runtime() wrong")
+	}
+}
+
+func TestFlushEdgeSizes(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(256)
+
+	// Zero and negative sizes are complete no-ops: no event, no time.
+	before := rt.Clock.Now()
+	th.Flush(a, 0)
+	th.Flush(a, -8)
+	th.FlushFence(a, 0)
+	th.FlushFence(a, -1)
+	if rt.Trace.Len() != 0 {
+		t.Fatalf("size<=0 flush emitted %d events: %v", rt.Trace.Len(), rt.Trace.Events)
+	}
+	if rt.Clock.Now() != before {
+		t.Fatalf("size<=0 flush advanced the clock: %d -> %d", before, rt.Clock.Now())
+	}
+
+	// A line-straddling flush emits one event and makes both lines durable.
+	th.Store(a+60, []byte{1, 2, 3, 4, 5, 6, 7, 8}) // spans two lines
+	th.Flush(a+60, 8)
+	th.Fence()
+	if !rt.Dev.IsDurable(a+60, 8) {
+		t.Fatal("line-straddling flush+fence left data volatile")
+	}
+	var flushes int
+	for _, e := range rt.Trace.Events {
+		if e.Kind == trace.KFlush {
+			flushes++
+			if e.Size != 8 {
+				t.Fatalf("flush event size = %d, want 8", e.Size)
+			}
+		}
+	}
+	if flushes != 1 {
+		t.Fatalf("flush events = %d, want 1", flushes)
+	}
+}
+
+func TestFlushHookObservesFlushes(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(128)
+	type call struct {
+		a    mem.Addr
+		size int
+	}
+	var calls []call
+	th.SetFlushHook(func(a mem.Addr, size int) { calls = append(calls, call{a, size}) })
+	th.Store(a, []byte{1})
+	th.Flush(a, 1)
+	th.Flush(a, 0) // guarded before the hook
+	th.FlushFence(a+64, 8)
+	th.SetFlushHook(nil)
+	th.Flush(a, 1)
+	want := []call{{a, 1}, {a + 64, 8}}
+	if len(calls) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook call %d = %v, want %v", i, calls[i], want[i])
+		}
 	}
 }

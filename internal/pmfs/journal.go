@@ -56,13 +56,9 @@ type mdTx struct {
 	th    *persist.Thread
 	start int // first slot of this transaction
 	n     int // entries appended
-	dirty []dirtyRange
+	dirty []mem.Span
 }
 
-type dirtyRange struct {
-	addr mem.Addr
-	size int
-}
 
 // begin opens the journal for a metadata transaction: bump the generation
 // and mark the descriptor UNCOMMITTED. The descriptor flush shares the
@@ -106,7 +102,7 @@ func (mt *mdTx) write(a mem.Addr, data []byte) {
 	mt.n++
 
 	th.Store(a, data)
-	mt.dirty = append(mt.dirty, dirtyRange{a, len(data)})
+	mt.dirty = append(mt.dirty, mem.Span{Addr: a, Size: len(data)})
 }
 
 // writeU64 journals and updates a single metadata word.
@@ -123,10 +119,14 @@ func (mt *mdTx) writeU64(a mem.Addr, v uint64) {
 // descriptor.
 func (mt *mdTx) commit() {
 	th := mt.th
-	for _, d := range mt.dirty {
-		th.Flush(d.addr, d.size)
+	// One flush per distinct dirty line. Metadata words cluster: an
+	// inode's size and mtime live in the same 64-byte line, so flushing
+	// the raw per-write ranges re-flushes clean lines on every commit.
+	flushes := mem.Coalesce(mt.dirty)
+	for _, s := range flushes {
+		th.Flush(s.Addr, s.Size)
 	}
-	if len(mt.dirty) > 0 {
+	if len(flushes) > 0 {
 		th.Fence()
 	}
 	th.StoreU64(mt.j.desc, jrnlCommitted)

@@ -10,6 +10,7 @@ import (
 
 	"github.com/whisper-pm/whisper/internal/persist"
 	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/pmsan"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
 
@@ -363,5 +364,38 @@ func TestIsDirErrors(t *testing.T) {
 	fs.Create(th, "/f")
 	if _, err := fs.Stat(th, "/f/sub"); !errors.Is(err, ErrNotDir) {
 		t.Fatalf("traverse through file = %v", err)
+	}
+}
+
+func TestMetadataCommitFlushesCoalesced(t *testing.T) {
+	// An inode's size and mtime words share one cache line; the journal
+	// used to flush each journalled range separately at commit,
+	// re-flushing that line on every write syscall. Replay a small
+	// workload through pmsan: zero ordering errors, zero redundant
+	// flushes.
+	rt, th, fs := newFS(t)
+	if err := fs.Create(th, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := fs.WriteAt(th, "/f", int64(i*100), make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Mkdir(th, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(th, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pmsan.Run(trace.NewSliceSource(rt.Trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 0 {
+		t.Fatalf("ordering errors in pmfs trace:\n%s", rep)
+	}
+	if n := rep.Sites(pmsan.RedundantFlush); n != 0 {
+		t.Fatalf("redundant metadata flushes: %d sites\n%s", n, rep)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/whisper-pm/whisper/internal/epoch"
 	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmsan"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
 
@@ -87,9 +88,16 @@ func (c *chanSource) Volatile() (loads, stores uint64) { return c.vloads, c.vsto
 // traceOut is non-nil, the stream is also tee'd to it in the chunked v2
 // trace format (readable by DecodeTrace, wanalyze -dir, and AnalyzeReader).
 func RunStream(name string, cfg Config, traceOut io.Writer) (*Report, error) {
+	rep, _, err := runStreamed(name, cfg, traceOut, false)
+	return rep, err
+}
+
+// runStreamed is the shared streaming body: benchmark producer goroutine,
+// optional trace tee, optional inline sanitizer tap, sharded analysis.
+func runStreamed(name string, cfg Config, traceOut io.Writer, sanitize bool) (*Report, *SanReport, error) {
 	b, err := find(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	clients := cfg.Clients
 	if clients <= 0 {
@@ -108,7 +116,7 @@ func RunStream(name string, cfg Config, traceOut io.Writer) (*Report, error) {
 	if traceOut != nil {
 		tw, err = trace.NewWriter(traceOut, src.meta)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -145,23 +153,74 @@ func RunStream(name string, cfg Config, traceOut io.Writer) (*Report, error) {
 		publishRunMetrics(b.Name, rt, time.Since(start), clients*ops)
 	}()
 
-	var a *epoch.Analysis
+	// The consumer chain: channel source, optionally tee'd to the trace
+	// writer, optionally tapped by the sanitizer. The sanitizer wrapper
+	// preserves the chunked fast path when the underlying source has one
+	// (the tee is Next-only, so its wrapper is too).
+	var consumer trace.EventSource = src
 	if tw != nil {
-		a, err = epoch.AnalyzeStream(teeSource{src: src, w: tw})
-		if err == nil {
-			vl, vs := src.Volatile()
-			err = tw.Close(vl, vs)
+		consumer = teeSource{src: src, w: tw}
+	}
+	var san *pmsan.Sanitizer
+	if sanitize {
+		san = pmsan.New(src.meta)
+		if cs, ok := consumer.(trace.ChunkSource); ok {
+			consumer = observedChunkSource{observedSource{src: consumer, san: san}, cs}
+		} else {
+			consumer = observedSource{src: consumer, san: san}
 		}
-	} else {
-		a, err = epoch.AnalyzeStream(src)
+	}
+
+	a, err := epoch.AnalyzeStream(consumer)
+	if err == nil && tw != nil {
+		vl, vs := src.Volatile()
+		err = tw.Close(vl, vs)
 	}
 	if err != nil {
 		// Drain so the producer goroutine can always finish.
 		for range src.ch {
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	return newReport(a, nil), nil
+	var sanRep *SanReport
+	if san != nil {
+		sanRep = &SanReport{rep: san.Finish()}
+	}
+	return newReport(a, nil), sanRep, nil
+}
+
+// observedSource taps every event a consumer pulls into the sanitizer.
+type observedSource struct {
+	src trace.EventSource
+	san *pmsan.Sanitizer
+}
+
+func (o observedSource) Meta() trace.Meta { return o.src.Meta() }
+
+func (o observedSource) Next() (trace.Event, error) {
+	e, err := o.src.Next()
+	if err == nil {
+		o.san.Observe(e)
+	}
+	return e, err
+}
+
+func (o observedSource) Volatile() (loads, stores uint64) { return o.src.Volatile() }
+
+// observedChunkSource additionally forwards the chunked fast path.
+type observedChunkSource struct {
+	observedSource
+	cs trace.ChunkSource
+}
+
+func (o observedChunkSource) NextChunk() ([]trace.Event, error) {
+	chunk, err := o.cs.NextChunk()
+	if err == nil {
+		for _, e := range chunk {
+			o.san.Observe(e)
+		}
+	}
+	return chunk, err
 }
 
 // teeSource copies every event it yields into a trace.Writer.
