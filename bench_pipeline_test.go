@@ -78,6 +78,27 @@ func BenchmarkPipelineAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamScaling is the scaling matrix behind
+// BENCH_stream_scaling.json: run with `-cpu 1,2,4,8` so every GOMAXPROCS
+// level lands as its own entry (wbench records the -P suffix as the
+// procs field). AnalyzeStream sizes its shard fan-out from GOMAXPROCS at
+// runtime, so threads4 at GOMAXPROCS=1 runs the inline single-shard path
+// while threads4 at GOMAXPROCS=4 fans out to four shards.
+func BenchmarkStreamScaling(b *testing.B) {
+	for _, threads := range []int{1, 4, 8} {
+		tr := genPipelineTrace(1_000_000, threads)
+		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := epoch.AnalyzeStream(trace.NewSliceSource(tr)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+		})
+	}
+}
+
 // BenchmarkTraceCodecV2 measures the chunked codec against v1 on the same
 // synthetic trace.
 func BenchmarkTraceCodecV2(b *testing.B) {

@@ -10,11 +10,18 @@
 //
 //	wanalyze -run [-fig3] [-fig4] [-fig5] [-amp] [-nti] [-san]
 //	wanalyze -dir traces/ -fig3
+//	wanalyze -dir traces/ -fused -san -cache
 //	wanalyze -run -metrics out.json
 //
 // -san additionally replays each trace through the durability-ordering
 // sanitizer (internal/pmsan) and prints one report per app; exit status
 // is 1 if any ordering error is found.
+//
+// -fused runs the selected analyses as fused consumers of a single pass
+// over each trace: with -san each file is decoded (or each app executed)
+// once instead of once per analysis. -cache adds the Table 3
+// cache-hierarchy simulation to the pass and prints where accesses were
+// serviced.
 //
 // With no figure flags, everything prints. Exit status is 1 when there is
 // nothing to analyze or a trace fails to load, 2 on usage errors.
@@ -63,16 +70,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	amp := fs.Bool("amp", false, "print write amplification (§5.2)")
 	nti := fs.Bool("nti", false, "print NTI fractions (§5.2)")
 	san := fs.Bool("san", false, "run the durability-ordering sanitizer over each trace; exit 1 on ordering errors")
+	fused := fs.Bool("fused", false, "single-pass mode: all selected analyses consume one fan-out of each trace")
+	cache := fs.Bool("cache", false, "simulate the Table 3 cache hierarchy over each trace (requires -fused)")
 	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	// flag.Parse stops at the first positional argument, so a typo like
+	// `wanalyze -run echo -fused` would otherwise silently drop every
+	// flag after "echo" and run the defaults instead.
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "wanalyze: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *cache && !*fused {
+		fmt.Fprintln(stderr, "wanalyze: -cache requires -fused (the simulation rides the fused pass)")
+		return 2
+	}
 
-	// -san acts as a section selector like the figure flags: alone it
-	// prints only the sanitizer reports.
-	all := !*fig3 && !*fig4 && !*fig5 && !*amp && !*nti && !*san
+	// -san and -cache act as section selectors like the figure flags:
+	// alone they print only their own reports.
+	all := !*fig3 && !*fig4 && !*fig5 && !*amp && !*nti && !*san && !*cache
 
-	reports, sanReports, err := collect(*runSuite, *dir, *ops, *seed, *parallel, *stream, *san)
+	reports, sanReports, cacheStats, err := collect(*runSuite, *dir, *ops, *seed, *parallel, *stream, *san, *fused, *cache)
 	if err != nil {
 		fmt.Fprintln(stderr, "wanalyze:", err)
 		return 1
@@ -143,6 +163,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %-12.1f %s\n", r.App, r.NTIFraction*100, ref)
 		}
 	}
+	if *cache {
+		fmt.Fprintln(stdout, "== Cache hierarchy (Table 3): access servicing ==")
+		fmt.Fprintf(stdout, "%-10s %10s %10s %10s %10s %10s %10s %10s %10s\n",
+			"Benchmark", "L1", "L2", "remote", "DRAM-rd", "DRAM-wr", "PM-rd", "PM-wr", "NT-wr")
+		for i, cs := range cacheStats {
+			fmt.Fprintf(stdout, "%-10s %10d %10d %10d %10d %10d %10d %10d %10d\n",
+				reports[i].App, cs.L1Hits, cs.L2Hits, cs.RemoteHits,
+				cs.DRAMReads, cs.DRAMWrites, cs.PMReads, cs.PMWrites, cs.NTWrites)
+		}
+		fmt.Fprintln(stdout)
+	}
 	sanErrors := 0
 	if *san {
 		fmt.Fprintln(stdout, "== Sanitizer: durability-ordering violations ==")
@@ -163,9 +194,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // collect gathers one analysis report per app, plus one sanitizer report
-// per app when san is set. The sanitizer slice is index-aligned with the
-// reports slice.
-func collect(run bool, dir string, ops int, seed int64, parallel int, stream, san bool) ([]*whisper.Report, []*whisper.SanReport, error) {
+// per app when san is set and one cache-stats record per app when cache
+// is set. The sanitizer and cache slices are index-aligned with the
+// reports slice. With fused set, each trace is executed or decoded once
+// and all selected analyses consume the same pass.
+func collect(run bool, dir string, ops int, seed int64, parallel int, stream, san, fused, cache bool) ([]*whisper.Report, []*whisper.SanReport, []*whisper.CacheStats, error) {
+	if fused {
+		return collectFused(run, dir, ops, seed, san, cache)
+	}
 	if run {
 		cfg := whisper.Config{Ops: ops, Seed: seed}
 		if stream {
@@ -185,20 +221,20 @@ func collect(run bool, dir string, ops int, seed int64, parallel int, stream, sa
 					r, err = whisper.RunStream(name, cfg, nil)
 				}
 				if err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
 				}
 				out = append(out, r)
 				if sr != nil {
 					sans = append(sans, sr)
 				}
 			}
-			return out, sans, nil
+			return out, sans, nil, nil
 		}
 		// Suite members are independent runs; regenerate them concurrently.
 		// Reports are identical to serial regeneration for a fixed seed.
 		out, err := whisper.RunAllParallel(cfg, parallel)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		var sans []*whisper.SanReport
 		if san {
@@ -206,21 +242,21 @@ func collect(run bool, dir string, ops int, seed int64, parallel int, stream, sa
 				sans = append(sans, whisper.Sanitize(r.Trace))
 			}
 		}
-		return out, sans, nil
+		return out, sans, nil, nil
 	}
 	if dir == "" {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "*.wspr"))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var out []*whisper.Report
 	var sans []*whisper.SanReport
 	for _, path := range matches {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		var rep *whisper.Report
 		if stream {
@@ -234,23 +270,75 @@ func collect(run bool, dir string, ops int, seed int64, parallel int, stream, sa
 		}
 		f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %v", path, err)
+			return nil, nil, nil, fmt.Errorf("%s: %v", path, err)
 		}
 		if san {
 			// Saved traces sanitize from disk in both modes: reopen and
 			// stream the codec straight into the state machine.
 			sf, err := os.Open(path)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			sr, err := whisper.SanitizeReader(sf)
 			sf.Close()
 			if err != nil {
-				return nil, nil, fmt.Errorf("%s: %v", path, err)
+				return nil, nil, nil, fmt.Errorf("%s: %v", path, err)
 			}
 			sans = append(sans, sr)
 		}
 		out = append(out, rep)
 	}
-	return out, sans, nil
+	return out, sans, nil, nil
+}
+
+// collectFused is the single-pass collector: each app run or trace file
+// is consumed exactly once, with the epoch analysis, sanitizer, and
+// cache simulation fanned out over the same event stream. The -dir path
+// in particular opens each file once, where the split collectors open it
+// twice (analysis + sanitizer).
+func collectFused(run bool, dir string, ops int, seed int64, san, cache bool) ([]*whisper.Report, []*whisper.SanReport, []*whisper.CacheStats, error) {
+	fcfg := whisper.FusedConfig{Sanitize: san, Cache: cache}
+	var out []*whisper.Report
+	var sans []*whisper.SanReport
+	var stats []*whisper.CacheStats
+	keep := func(fr *whisper.FusedReport) {
+		out = append(out, fr.Report)
+		if fr.San != nil {
+			sans = append(sans, fr.San)
+		}
+		if fr.Cache != nil {
+			stats = append(stats, fr.Cache)
+		}
+	}
+	if run {
+		cfg := whisper.Config{Ops: ops, Seed: seed}
+		for _, name := range whisper.Names() {
+			fr, err := whisper.RunStreamFused(name, cfg, fcfg, nil)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			keep(fr)
+		}
+		return out, sans, stats, nil
+	}
+	if dir == "" {
+		return nil, nil, nil, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.wspr"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fr, err := whisper.AnalyzeReaderFused(f, fcfg)
+		f.Close()
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %v", path, err)
+		}
+		keep(fr)
+	}
+	return out, sans, stats, nil
 }

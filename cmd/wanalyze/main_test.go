@@ -168,3 +168,49 @@ func TestSanFlag(t *testing.T) {
 		t.Errorf("-san alone printed figures:\n%s", plain.String())
 	}
 }
+
+// TestFusedFlag pins the fused single-pass mode: its figures and
+// sanitizer output are byte-identical to the split collectors, -cache
+// adds the hierarchy table, and -cache without -fused is a usage error.
+func TestFusedFlag(t *testing.T) {
+	traceDir := t.TempDir()
+	rep, err := whisper.Run("hashmap", whisper.Config{Clients: 2, Ops: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(traceDir, "hashmap.wspr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Trace.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var plain, fused bytes.Buffer
+	if code := run([]string{"-dir", traceDir, "-san"}, &plain, &plain); code != 0 {
+		t.Fatalf("-san run failed: %s", plain.String())
+	}
+	if code := run([]string{"-dir", traceDir, "-san", "-fused"}, &fused, &fused); code != 0 {
+		t.Fatalf("-san -fused run failed: %s", fused.String())
+	}
+	if plain.String() != fused.String() {
+		t.Errorf("-fused changed -san output:\nplain:\n%s\nfused:\n%s", plain.String(), fused.String())
+	}
+
+	var cached bytes.Buffer
+	if code := run([]string{"-dir", traceDir, "-fused", "-cache"}, &cached, &cached); code != 0 {
+		t.Fatalf("-fused -cache run failed: %s", cached.String())
+	}
+	if !strings.Contains(cached.String(), "Cache hierarchy") {
+		t.Errorf("-cache printed no hierarchy table:\n%s", cached.String())
+	}
+	if strings.Contains(cached.String(), "Figure") {
+		t.Errorf("-cache alone printed figures:\n%s", cached.String())
+	}
+
+	var errOut bytes.Buffer
+	if code := run([]string{"-dir", traceDir, "-cache"}, &errOut, &errOut); code != 2 {
+		t.Fatalf("-cache without -fused: exit %d, want 2 (%s)", code, errOut.String())
+	}
+}

@@ -37,9 +37,15 @@ type sample struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// entry folds all -count repetitions of one benchmark together.
+// entry folds all -count repetitions of one benchmark at one GOMAXPROCS
+// level together. Distinct parallelism levels (the -P name suffix `go
+// test -cpu` appends) stay distinct entries — folding them would corrupt
+// any scaling matrix.
 type entry struct {
-	Name    string             `json:"name"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the samples ran at (the -P suffix; 1 when
+	// the runner printed no suffix).
+	Procs   int                `json:"procs,omitempty"`
 	Samples []sample           `json:"samples"`
 	Median  map[string]float64 `json:"median"`
 }
@@ -119,14 +125,15 @@ func parse(r io.Reader) (*document, error) {
 			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 			continue
 		}
-		s, name, ok := parseResult(line)
+		s, name, procs, ok := parseResult(line)
 		if !ok {
 			continue
 		}
-		e := byName[name]
+		key := fmt.Sprintf("%s-%d", name, procs)
+		e := byName[key]
 		if e == nil {
-			e = &entry{Name: name}
-			byName[name] = e
+			e = &entry{Name: name, Procs: procs}
+			byName[key] = e
 			doc.Benchmarks = append(doc.Benchmarks, e)
 		}
 		e.Samples = append(e.Samples, s)
@@ -144,24 +151,28 @@ func parse(r io.Reader) (*document, error) {
 //
 //	BenchmarkName-8   5   152104271 ns/op   6.574 Mevents/s   52149830 B/op
 //
-// The -P GOMAXPROCS suffix is stripped from the name so entries fold
-// across machines.
-func parseResult(line string) (sample, string, bool) {
+// The -P GOMAXPROCS suffix is split off the name and returned as procs
+// (1 when absent: `go test` prints no suffix at GOMAXPROCS=1), so a
+// scaling matrix run with -cpu 1,2,4,8 keeps each parallelism level as
+// its own entry instead of folding them into one meaningless median.
+func parseResult(line string) (sample, string, int, bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
-		return sample{}, "", false
+		return sample{}, "", 0, false
 	}
 	fields := strings.Fields(line)
 	// Name, iteration count, then at least one "value unit" pair.
 	if len(fields) < 4 || len(fields)%2 != 0 {
-		return sample{}, "", false
+		return sample{}, "", 0, false
 	}
 	if _, err := strconv.Atoi(fields[1]); err != nil {
-		return sample{}, "", false
+		return sample{}, "", 0, false
 	}
 	name := fields[0]
+	procs := 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
 			name = name[:i]
+			procs = p
 		}
 	}
 	s := sample{Metrics: map[string]float64{}}
@@ -169,7 +180,7 @@ func parseResult(line string) (sample, string, bool) {
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return sample{}, "", false
+			return sample{}, "", 0, false
 		}
 		if fields[i+1] == "ns/op" {
 			s.NsPerOp = v
@@ -179,12 +190,12 @@ func parseResult(line string) (sample, string, bool) {
 		}
 	}
 	if !seen {
-		return sample{}, "", false
+		return sample{}, "", 0, false
 	}
 	if len(s.Metrics) == 0 {
 		s.Metrics = nil
 	}
-	return s, name, true
+	return s, name, procs, true
 }
 
 // medians computes the per-metric median across samples, keyed by unit

@@ -32,7 +32,10 @@ func TestParseFoldsRepetitionsAndMedians(t *testing.T) {
 	}
 	pa := doc.Benchmarks[0]
 	if pa.Name != "BenchmarkPipelineAnalyze/stream/threads8" {
-		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", pa.Name)
+		t.Errorf("name = %q (GOMAXPROCS suffix should be split off)", pa.Name)
+	}
+	if pa.Procs != 8 {
+		t.Errorf("procs = %d, want 8 (the -8 suffix)", pa.Procs)
 	}
 	if len(pa.Samples) != 3 {
 		t.Fatalf("got %d samples, want 3 (repetitions must fold)", len(pa.Samples))
@@ -81,5 +84,33 @@ func TestRunErrorPaths(t *testing.T) {
 	}
 	if code := run([]string{"stray"}, strings.NewReader(""), &out, &errBuf); code != 2 {
 		t.Errorf("stray args: exit %d, want 2", code)
+	}
+}
+
+// TestParseKeepsProcsLevelsDistinct pins the scaling-matrix fix: the
+// same benchmark at different GOMAXPROCS levels (go test -cpu 1,2)
+// must stay separate entries — folding them silently corrupts the
+// medians — and a suffix-less line (GOMAXPROCS=1) records procs 1.
+func TestParseKeepsProcsLevelsDistinct(t *testing.T) {
+	in := `BenchmarkStreamScaling/threads4   5   100 ns/op   10.0 Mevents/s
+BenchmarkStreamScaling/threads4-2   5   60 ns/op   17.0 Mevents/s
+BenchmarkStreamScaling/threads4-2   5   50 ns/op   20.0 Mevents/s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d entries, want 2 (one per GOMAXPROCS level)", len(doc.Benchmarks))
+	}
+	p1, p2 := doc.Benchmarks[0], doc.Benchmarks[1]
+	if p1.Procs != 1 || len(p1.Samples) != 1 || p1.Median["Mevents/s"] != 10.0 {
+		t.Errorf("suffix-less entry mis-parsed: %+v", p1)
+	}
+	if p2.Procs != 2 || len(p2.Samples) != 2 || p2.Median["Mevents/s"] != 18.5 {
+		t.Errorf("procs=2 entry mis-parsed: %+v", p2)
+	}
+	if p1.Name != p2.Name || p1.Name != "BenchmarkStreamScaling/threads4" {
+		t.Errorf("names diverged: %q vs %q", p1.Name, p2.Name)
 	}
 }

@@ -1,0 +1,100 @@
+package whisper
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/cachesim"
+)
+
+// TestFusedMatchesStandalone is the fused-mode contract: for every suite
+// member, one fused pass produces an epoch report, sanitizer report, and
+// cache statistics byte-identical to the three standalone replays.
+func TestFusedMatchesStandalone(t *testing.T) {
+	cfg := Config{Ops: 10, Seed: 13}
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			serial, err := Run(b.Name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSan := Sanitize(serial.Trace)
+			wantStats := cachesim.ReplayTrace(cachesim.New(cachesim.DefaultConfig()), serial.Trace.tr)
+			wantCache := CacheStats{
+				L1Hits:     wantStats.L1Hits,
+				L2Hits:     wantStats.L2Hits,
+				RemoteHits: wantStats.RemoteHits,
+				DRAMReads:  wantStats.DRAMReads,
+				DRAMWrites: wantStats.DRAMWrites,
+				PMReads:    wantStats.PMReads,
+				PMWrites:   wantStats.PMWrites,
+				NTWrites:   wantStats.NTWrites,
+				Evictions:  wantStats.Evictions,
+			}
+			want := *serial
+			want.Trace = nil
+
+			var tee bytes.Buffer
+			fused, err := RunStreamFused(b.Name, cfg, FusedConfig{Sanitize: true, Cache: true}, &tee)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*fused.Report, want) {
+				t.Errorf("fused epoch report diverged:\n got: %+v\nwant: %+v", *fused.Report, want)
+			}
+			if got, wantStr := fused.San.String(), wantSan.String(); got != wantStr {
+				t.Errorf("fused sanitizer report diverged:\n got: %s\nwant: %s", got, wantStr)
+			}
+			if *fused.Cache != wantCache {
+				t.Errorf("fused cache stats diverged:\n got: %+v\nwant: %+v", *fused.Cache, wantCache)
+			}
+
+			// The saved trace analyzes identically through the one-decode
+			// fused reader.
+			fromDisk, err := AnalyzeReaderFused(bytes.NewReader(tee.Bytes()), FusedConfig{Sanitize: true, Cache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*fromDisk.Report, want) {
+				t.Errorf("fused reader epoch report diverged:\n got: %+v\nwant: %+v", *fromDisk.Report, want)
+			}
+			if got, wantStr := fromDisk.San.String(), wantSan.String(); got != wantStr {
+				t.Errorf("fused reader sanitizer report diverged:\n got: %s\nwant: %s", got, wantStr)
+			}
+			if *fromDisk.Cache != wantCache {
+				t.Errorf("fused reader cache stats diverged:\n got: %+v\nwant: %+v", *fromDisk.Cache, wantCache)
+			}
+		})
+	}
+}
+
+// TestFusedNoExtras pins the degenerate configuration: no sanitizer, no
+// cache simulation — plain streaming analysis with nil extras.
+func TestFusedNoExtras(t *testing.T) {
+	cfg := Config{Ops: 5, Seed: 3}
+	serial, err := Run("ctree", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := *serial
+	want.Trace = nil
+	fused, err := RunStreamFused("ctree", cfg, FusedConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.San != nil || fused.Cache != nil {
+		t.Error("unrequested fused consumers produced reports")
+	}
+	if !reflect.DeepEqual(*fused.Report, want) {
+		t.Errorf("report diverged:\n got: %+v\nwant: %+v", *fused.Report, want)
+	}
+}
+
+// TestFusedReaderRejectsGarbage pins the error path.
+func TestFusedReaderRejectsGarbage(t *testing.T) {
+	if _, err := AnalyzeReaderFused(bytes.NewReader([]byte("junk")), FusedConfig{Sanitize: true}); err == nil {
+		t.Fatal("AnalyzeReaderFused accepted garbage")
+	}
+}

@@ -2,6 +2,7 @@ package epoch
 
 import (
 	"io"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -20,9 +21,20 @@ import (
 // events below index U are done"), and the merge consumes closed epochs
 // in global order as soon as they fall below the minimum watermark, so
 // pipeline memory is bounded by the in-flight window rather than the
-// trace or epoch count. Everything the shards and the merge produce is,
-// by construction, identical to what the serial Analyze computes;
-// TestStreamMatchesSerial asserts reflect.DeepEqual on randomized traces.
+// trace or epoch count.
+//
+// Parallelism is sized to the machine, not the trace: the shard fan-out
+// is clamped to GOMAXPROCS (a 4-thread trace on a 1-CPU box runs the
+// single-shard inline path with no goroutines or channels at all), all
+// order-independent epoch statistics (size histogram, singletons, store
+// mix) reduce inside the shards, buffer recycling is per-shard free
+// lists with zero cross-shard traffic, and the only inherently ordered
+// work — the last-writer WAW classification — is partitioned by cache
+// line across worker goroutines fed in batches as the watermark
+// advances. Everything every path produces is, by construction,
+// identical to what the serial Analyze computes; TestStreamMatchesSerial
+// and TestStreamShardMatrix assert reflect.DeepEqual on randomized
+// traces across shard counts and GOMAXPROCS settings.
 
 const (
 	// streamChunkEvents is the demux batch size: events are handed to
@@ -33,7 +45,8 @@ const (
 	// chunk size it caps buffered events per shard (and therefore pipeline
 	// RSS) at depth*chunk.
 	streamChanDepth = 8
-	// maxShards caps the goroutine fan-out regardless of Meta.Threads.
+	// maxShards caps the goroutine fan-out regardless of Meta.Threads and
+	// GOMAXPROCS.
 	maxShards = 16
 	// watermarkInterval is how often (in global events) the demux flushes
 	// every shard — including idle ones — so each shard's watermark keeps
@@ -46,26 +59,41 @@ const (
 	// fast path and the per-store map hashing of the serial analyzer is
 	// avoided entirely.
 	spillLines = 64
+	// wawBatchSize is how many retired epochs the merge accumulates
+	// before handing them to the line-partitioned WAW classifiers; one
+	// fork-join per batch amortizes the hand-off across thousands of
+	// line lookups.
+	wawBatchSize = 2048
 )
+
+// shardCount picks the demux fan-out for a trace with the given thread
+// count: the smallest power of two covering the threads (so the hot
+// routing step is a mask, not a division), clamped to GOMAXPROCS and
+// maxShards. Degenerate metadata (Threads <= 0, seen in hand-built or
+// corrupt traces) falls back to one shard. On a 1-CPU machine this
+// always returns 1, which routes AnalyzeStream to the inline path — the
+// pre-clamp pipeline paid up to 16-way channel hand-offs there and ran
+// slower the more threads the trace had.
+func shardCount(threads int) int {
+	if threads < 1 {
+		return 1
+	}
+	limit := runtime.GOMAXPROCS(0)
+	if limit > maxShards {
+		limit = maxShards
+	}
+	n := 1
+	for n < threads && 2*n <= limit {
+		n <<= 1
+	}
+	return n
+}
 
 // indexedEvent is an event stamped with its global trace position, which
 // the merge pass uses to reconstruct serial processing order.
 type indexedEvent struct {
 	idx uint64
 	e   trace.Event
-}
-
-// chunkPool recycles demux→shard batches; shards return each batch after
-// reducing it, so steady-state allocation is independent of trace length.
-var chunkPool = sync.Pool{
-	New: func() any { return make([]indexedEvent, 0, streamChunkEvents) },
-}
-
-// epochPool recycles shard→merge epoch batches: the merge hands each
-// batch back once its epochs are retired (or copied into a queue), so
-// closed-epoch records stop being a per-epoch allocation source.
-var epochPool = sync.Pool{
-	New: func() any { return make([]closedEpoch, 0, 256) },
 }
 
 // chunkMsg is one demux→shard batch. upTo promises that every event
@@ -78,13 +106,13 @@ type chunkMsg struct {
 
 // closedEpoch is one finished epoch as emitted by a shard: the closing
 // fence's global index, the unique PM lines written, and the fields the
-// serial closeEpoch consumes.
+// WAW merge consumes. Order-independent statistics (size bucket,
+// singletons) are already reduced shard-side into shardScalars.
 type closedEpoch struct {
 	idx   uint64
 	start mem.Time
 	end   mem.Time
 	lines []mem.Line
-	bytes int
 	tid   int32
 }
 
@@ -96,7 +124,8 @@ type txRec struct {
 }
 
 // shardScalars are a shard's order-independent reductions, delivered once
-// when its input closes.
+// when its input closes. Everything here is commutative addition, so the
+// merge applies them in whatever order shards finish.
 type shardScalars struct {
 	cacheableStores uint64
 	ntStores        uint64
@@ -106,6 +135,11 @@ type shardScalars struct {
 	userBytes       uint64
 	pmAccesses      uint64
 	dramEvents      uint64
+
+	totalEpochs     uint64
+	sizeHist        [NumSizeBuckets]uint64
+	singletons      uint64
+	smallSingletons uint64
 }
 
 // shardMsg is one shard→merge delivery: the epochs and transactions the
@@ -131,19 +165,212 @@ type threadState struct {
 	txCount int
 }
 
+// threadStates resolves a TID to its state machine: a direct-indexed
+// array for the common small non-negative TIDs (so interleaved traces
+// pay an array load per thread switch, not a map lookup), a lazily
+// built map for the rest (negative or large TIDs in hand-built traces).
+type threadStates struct {
+	dense [64]*threadState
+	m     map[int32]*threadState
+}
+
+func (ts *threadStates) get(tid int32) *threadState {
+	if uint32(tid) < uint32(len(ts.dense)) {
+		st := ts.dense[tid]
+		if st == nil {
+			st = &threadState{lines: make([]mem.Line, 0, 8)}
+			ts.dense[tid] = st
+		}
+		return st
+	}
+	st := ts.m[tid]
+	if st == nil {
+		if ts.m == nil {
+			ts.m = make(map[int32]*threadState)
+		}
+		st = &threadState{lines: make([]mem.Line, 0, 8)}
+		ts.m[tid] = st
+	}
+	return st
+}
+
 // AnalyzeStream runs the full epoch analysis over an event source without
 // materializing the trace. The result is identical (reflect.DeepEqual) to
 // Analyze on the equivalent materialized trace. Memory use is bounded by
 // the pipeline's in-flight window (channel depths plus one watermark
-// interval of closed epochs), independent of trace length.
+// interval of closed epochs), independent of trace length. The shard
+// fan-out is sized from Meta.Threads clamped to GOMAXPROCS; with one
+// shard the whole analysis runs inline on the calling goroutine.
 func AnalyzeStream(src trace.EventSource) (*Analysis, error) {
-	m := src.Meta()
-	// Shard count is the next power of two covering the thread count
-	// (capped), so the hot routing step is a mask, not a division.
-	nshards := 1
-	for nshards < m.Threads && nshards < maxShards {
-		nshards <<= 1
+	return analyzeStream(src, shardCount(src.Meta().Threads))
+}
+
+// analyzeStream is AnalyzeStream with the shard count injected, so tests
+// can pin configurations independent of the machine.
+func analyzeStream(src trace.EventSource, nshards int) (*Analysis, error) {
+	if nshards <= 1 {
+		return streamInline(src)
 	}
+	return streamSharded(src, nshards)
+}
+
+// streamInline is the single-shard path: one goroutine (the caller's),
+// no channels, no global-index stamping, no epoch copies. Events arrive
+// in global order, so every epoch classifies against the last-writer
+// table the moment its fence closes it — exactly the serial Analyze
+// order — and the open epoch's own line set is passed to the classifier
+// without ever being copied out.
+func streamInline(src trace.EventSource) (*Analysis, error) {
+	m := src.Meta()
+	reg := obs.Default()
+	demuxed := reg.Counter("pipeline_events_total", obs.Labels{"app": m.App, "stage": "demux"})
+	sharded := reg.Counter("pipeline_events_total", obs.Labels{"app": m.App, "stage": "shard"})
+	depth := reg.Gauge("pipeline_depth", obs.Labels{"app": m.App, "shard": "0"})
+
+	a := &Analysis{}
+	cls := newClassifier()
+	var states threadStates
+	var lastTID int32
+	var lastST *threadState
+	var scratch []mem.Line
+	var (
+		first mem.Time
+		last  mem.Time
+		any   bool
+	)
+
+	next := chunkReader(src)
+	for {
+		c, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(c) == 0 {
+			continue
+		}
+		if !any {
+			first = c[0].Time
+			any = true
+		}
+		last = c[len(c)-1].Time
+		demuxed.Add(uint64(len(c)))
+		sharded.Add(uint64(len(c)))
+		for i := range c {
+			e := c[i]
+			st := lastST
+			if st == nil || e.TID != lastTID {
+				st = states.get(e.TID)
+				lastTID, lastST = e.TID, st
+			}
+			switch e.Kind {
+			case trace.KStore, trace.KStoreNT:
+				if !st.dirty {
+					st.start = e.Time
+					st.dirty = true
+				}
+				if e.Size > 0 {
+					l := mem.LineOf(e.Addr)
+					end := mem.LineOf(e.Addr + mem.Addr(e.Size) - 1)
+					for ; l <= end; l++ {
+						st.addLine(l)
+					}
+				}
+				st.bytes += int(e.Size)
+				if e.Kind == trace.KStore {
+					a.CacheableStores++
+					a.CacheableBytes += uint64(e.Size)
+				} else {
+					a.NTStores++
+					a.NTBytes += uint64(e.Size)
+				}
+				a.TotalPMBytes += uint64(e.Size)
+				a.PMAccesses++
+
+			case trace.KLoad:
+				a.PMAccesses++
+
+			case trace.KVLoad, trace.KVStore:
+				a.DRAMAccesses++
+
+			case trace.KFence:
+				n := len(st.lines)
+				if st.spill != nil {
+					n = len(st.spill)
+				}
+				if n == 0 {
+					// Empty epoch (§5.1): nothing ordered, nothing closed.
+					st.dirty = false
+					st.bytes = 0
+					continue
+				}
+				lines := st.lines
+				if st.spill != nil {
+					scratch = scratch[:0]
+					for l := range st.spill {
+						scratch = append(scratch, l)
+					}
+					lines = scratch
+				}
+				a.TotalEpochs++
+				a.SizeHist[sizeBucket(n)]++
+				if n == 1 {
+					a.Singletons++
+					if st.bytes < 10 {
+						a.SmallSingletons++
+					}
+				}
+				self, cross := cls.classify(e.TID, st.start, e.Time, lines, 0, 0)
+				if self {
+					a.SelfDepEpochs++
+				}
+				if cross {
+					a.CrossDepEpochs++
+				}
+				st.lines = st.lines[:0]
+				st.spill = nil
+				st.bytes = 0
+				st.dirty = false
+				if st.inTx {
+					st.txCount++
+				}
+
+			case trace.KTxBegin:
+				st.inTx = true
+				st.txCount = 0
+
+			case trace.KTxEnd:
+				if st.inTx {
+					if st.txCount > 0 {
+						a.TxEpochCounts = append(a.TxEpochCounts, st.txCount)
+					}
+					st.inTx = false
+				}
+
+			case trace.KUserData:
+				a.UserBytes += uint64(e.Size)
+			}
+		}
+	}
+	depth.Set(0)
+
+	a.App, a.Layer, a.Threads = m.App, m.Layer, m.Threads
+	if any {
+		a.Duration = last - first
+	}
+	vloads, vstores := src.Volatile()
+	a.DRAMAccesses += vloads + vstores
+	return a, nil
+}
+
+// streamSharded is the parallel path: TID-routed shard goroutines behind
+// per-shard bounded channels, a merge goroutine replaying closed epochs
+// in global fence order, and line-partitioned WAW classifier workers fed
+// in batches as the watermark advances.
+func streamSharded(src trace.EventSource, nshards int) (*Analysis, error) {
+	m := src.Meta()
 	mask := int32(nshards - 1)
 
 	reg := obs.Default()
@@ -154,28 +381,64 @@ func AnalyzeStream(src trace.EventSource) (*Analysis, error) {
 		depth[s] = reg.Gauge("pipeline_depth", obs.Labels{"app": m.App, "shard": strconv.Itoa(s)})
 	}
 
+	// Buffer recycling is strictly per shard: chunkFree[s] carries spent
+	// demux batches from shard s back to the demux, epochFree[s] carries
+	// drained epoch batches from the merge back to shard s. No free list
+	// is ever touched by two producers or two consumers, so steady-state
+	// allocation is zero without any cross-shard pool contention.
 	chans := make([]chan chunkMsg, nshards)
+	chunkFree := make([]chan []indexedEvent, nshards)
+	epochFree := make([]chan []closedEpoch, nshards)
 	out := make(chan shardMsg, 2*nshards)
 	var wg sync.WaitGroup
 	for s := 0; s < nshards; s++ {
 		chans[s] = make(chan chunkMsg, streamChanDepth)
+		// Free-list capacity must cover the whole buffer inventory a
+		// shard can have in circulation (queued + pending + in
+		// processing + returning), or the non-blocking puts drop live
+		// buffers and the demux re-allocates them every cycle. Chunk
+		// buffers circulate through the shard channel (streamChanDepth)
+		// plus one pending in the demux and one in the shard's hands;
+		// epoch buffers through the shared out channel (2*nshards slots,
+		// all of which could momentarily belong to one shard).
+		chunkFree[s] = make(chan []indexedEvent, streamChanDepth+6)
+		epochFree[s] = make(chan []closedEpoch, 2*nshards+4)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			runShard(s, chans[s], out, sharded)
+			runShard(s, chans[s], chunkFree[s], epochFree[s], out, sharded)
 		}(s)
 	}
 
 	// The merge runs concurrently with the demux so shard output drains
-	// while events are still arriving; it owns the Analysis accumulators.
+	// while events are still arriving; it owns the Analysis accumulators
+	// and the classifier worker fleet.
 	mg := newMerger(nshards)
 	mergeDone := make(chan struct{})
 	go func() {
 		defer close(mergeDone)
 		for msg := range out {
 			mg.consume(msg)
+			if msg.epochs != nil {
+				// The merge copied what it needed; hand the batch buffer
+				// back to the shard that allocated it.
+				select {
+				case epochFree[msg.shard] <- msg.epochs[:0]:
+				default:
+				}
+			}
 		}
+		mg.finish()
 	}()
+
+	getChunk := func(s int) []indexedEvent {
+		select {
+		case b := <-chunkFree[s]:
+			return b[:0]
+		default:
+			return make([]indexedEvent, 0, streamChunkEvents)
+		}
+	}
 
 	// Demux: pull event batches (one interface call per chunk when the
 	// source supports it), assign global indices, track the trace's time
@@ -184,7 +447,7 @@ func AnalyzeStream(src trace.EventSource) (*Analysis, error) {
 	next := chunkReader(src)
 	pending := make([][]indexedEvent, nshards)
 	for s := range pending {
-		pending[s] = chunkPool.Get().([]indexedEvent)[:0]
+		pending[s] = getChunk(s)
 	}
 	var (
 		idx    uint64
@@ -219,7 +482,7 @@ func AnalyzeStream(src trace.EventSource) (*Analysis, error) {
 				demuxed.Add(streamChunkEvents)
 				depth[s].Set(int64(len(chans[s])))
 				chans[s] <- chunkMsg{events: pending[s], upTo: idx}
-				pending[s] = chunkPool.Get().([]indexedEvent)[:0]
+				pending[s] = getChunk(s)
 			}
 		}
 		if idx >= nextMark {
@@ -229,7 +492,7 @@ func AnalyzeStream(src trace.EventSource) (*Analysis, error) {
 			for s := range pending {
 				demuxed.Add(uint64(len(pending[s])))
 				chans[s] <- chunkMsg{events: pending[s], upTo: idx}
-				pending[s] = chunkPool.Get().([]indexedEvent)[:0]
+				pending[s] = getChunk(s)
 			}
 			nextMark = idx + watermarkInterval
 		}
@@ -288,9 +551,9 @@ func chunkReader(src trace.EventSource) func() ([]trace.Event, error) {
 	}
 }
 
-// writerPageShift sizes the direct-index pages of the merge's lastWriter
-// table: 256 lines (16 KB of PM) per page. PM heaps are arena-allocated
-// and dense, so a handful of pages covers a whole app and almost every
+// writerPageShift sizes the direct-index pages of the lastWriter table:
+// 256 lines (16 KB of PM) per page. PM heaps are arena-allocated and
+// dense, so a handful of pages covers a whole app and almost every
 // lookup hits the single-entry page cache — no hashing per line, unlike
 // the serial analyzer's map.
 const writerPageShift = 8
@@ -324,18 +587,112 @@ func (t *writerTable) slot(l mem.Line) *mergeWriter {
 	return &t.lastPage[uint64(l)&(1<<writerPageShift-1)]
 }
 
-// merger replays closed epochs in global fence order — exactly the order
-// the serial analyzer calls closeEpoch in, so the lastWriter index
-// evolves identically and the WAW counts match. Epochs arrive from each
-// shard already idx-sorted, so the merge is a k-way head selection gated
-// by the minimum shard watermark: an epoch is retired only once every
-// shard has passed its index, i.e. once no earlier epoch can still
-// arrive.
-type merger struct {
-	a       *Analysis
+// classifier owns one partition of the last-writer index and performs
+// the Figure 5 WAW dependency classification for the lines it owns.
+// The inline path runs one classifier over every line (mask 0); the
+// sharded path runs nshards classifiers, each owning the lines where
+// line & mask == want, so their tables are disjoint by construction and
+// every line's writer history evolves in exactly the global epoch order
+// it would under the serial analyzer.
+type classifier struct {
 	writers writerTable
+}
 
-	marks     []uint64
+func newClassifier() *classifier {
+	return &classifier{writers: writerTable{pages: make(map[uint64]*writerPage)}}
+}
+
+// classify replays one closed epoch against the partition's last-writer
+// table: lines not owned by this partition are skipped, owned lines are
+// checked for a self/cross WAW within DependencyWindow and then claim
+// the slot. Line order within an epoch is immaterial — an epoch's lines
+// are unique, so each touches a distinct slot.
+func (c *classifier) classify(tid int32, start, end mem.Time, lines []mem.Line, mask, want uint64) (self, cross bool) {
+	for _, l := range lines {
+		if uint64(l)&mask != want {
+			continue
+		}
+		w := c.writers.slot(l)
+		if w.set {
+			if start >= w.end && start-w.end <= DependencyWindow {
+				if w.thread == tid {
+					self = true
+				} else {
+					cross = true
+				}
+			} else if start < w.end && end-w.end <= DependencyWindow {
+				// Overlapping epochs (interleaved threads): still a WAW
+				// within the window.
+				if w.thread == tid {
+					self = true
+				} else {
+					cross = true
+				}
+			}
+		}
+		w.thread, w.end, w.set = tid, end, true
+	}
+	return self, cross
+}
+
+const (
+	flagSelf  = 1 << 0
+	flagCross = 1 << 1
+)
+
+// wawJob is one fork-join unit: a batch of epochs in global order and
+// the per-worker flag array to fill (one byte per epoch, flagSelf /
+// flagCross bits for the lines this worker owns).
+type wawJob struct {
+	batch []closedEpoch
+	flags []uint8
+}
+
+// wawWorker classifies its line partition of every batch the merge
+// hands it. Workers never share state: each owns a disjoint slice of
+// the last-writer index and writes a private flags array, joined by the
+// merge after all workers finish the batch.
+type wawWorker struct {
+	cls        *classifier
+	mask, want uint64
+	in         chan wawJob
+	done       chan struct{}
+}
+
+func (w *wawWorker) run() {
+	for job := range w.in {
+		for i := range job.batch {
+			ce := &job.batch[i]
+			self, cross := w.cls.classify(ce.tid, ce.start, ce.end, ce.lines, w.mask, w.want)
+			var f uint8
+			if self {
+				f |= flagSelf
+			}
+			if cross {
+				f |= flagCross
+			}
+			job.flags[i] = f
+		}
+		w.done <- struct{}{}
+	}
+}
+
+// merger replays closed epochs in global fence order — exactly the order
+// the serial analyzer calls closeEpoch in, so every line's last-writer
+// history evolves identically and the WAW counts match. Epochs arrive
+// from each shard already idx-sorted, so the merge is a k-way head
+// selection gated by the minimum shard watermark: an epoch is retired
+// only once every shard has passed its index, i.e. once no earlier epoch
+// can still arrive. Retired epochs are buffered into batches and
+// classified by the line-partitioned workers; a drain runs only when the
+// minimum watermark actually advances, so bursts of shard messages cost
+// one merge scan, not one per message.
+type merger struct {
+	a *Analysis
+
+	marks []uint64
+	safe  uint64
+
 	epochQ    [][]closedEpoch
 	epochHead []int
 	// epochHeadIdx caches each shard queue's head global index (^0 when
@@ -345,6 +702,10 @@ type merger struct {
 	txQ          [][]txRec
 	txHead       []int
 	txHeadIdx    []uint64
+
+	batch   []closedEpoch
+	workers []*wawWorker
+	flags   [][]uint8
 }
 
 const emptyQueue = ^uint64(0)
@@ -352,7 +713,6 @@ const emptyQueue = ^uint64(0)
 func newMerger(nshards int) *merger {
 	mg := &merger{
 		a:            &Analysis{},
-		writers:      writerTable{pages: make(map[uint64]*writerPage)},
 		marks:        make([]uint64, nshards),
 		epochQ:       make([][]closedEpoch, nshards),
 		epochHead:    make([]int, nshards),
@@ -360,10 +720,21 @@ func newMerger(nshards int) *merger {
 		txQ:          make([][]txRec, nshards),
 		txHead:       make([]int, nshards),
 		txHeadIdx:    make([]uint64, nshards),
+		workers:      make([]*wawWorker, nshards),
+		flags:        make([][]uint8, nshards),
 	}
 	for s := 0; s < nshards; s++ {
 		mg.epochHeadIdx[s] = emptyQueue
 		mg.txHeadIdx[s] = emptyQueue
+		w := &wawWorker{
+			cls:  newClassifier(),
+			mask: uint64(nshards - 1),
+			want: uint64(s),
+			in:   make(chan wawJob),
+			done: make(chan struct{}),
+		}
+		mg.workers[s] = w
+		go w.run()
 	}
 	return mg
 }
@@ -379,40 +750,74 @@ func (mg *merger) consume(msg shardMsg) {
 		mg.a.UserBytes += f.userBytes
 		mg.a.PMAccesses += f.pmAccesses
 		mg.a.DRAMAccesses += f.dramEvents
+		mg.a.TotalEpochs += int(f.totalEpochs)
+		for i, n := range f.sizeHist {
+			mg.a.SizeHist[i] += int(n)
+		}
+		mg.a.Singletons += int(f.singletons)
+		mg.a.SmallSingletons += int(f.smallSingletons)
 	}
 	s := msg.shard
 	if len(msg.epochs) > 0 {
-		if mg.epochHead[s] == len(mg.epochQ[s]) {
-			// Adopt the batch; it returns to the pool once drained.
-			mg.epochQ[s], mg.epochHead[s] = msg.epochs, 0
-		} else {
-			mg.epochQ[s] = append(mg.epochQ[s], msg.epochs...)
-			epochPool.Put(msg.epochs[:0])
+		// Copy into the shard's queue (the 56-byte records are cheaper to
+		// copy than to track ownership of), so the arrival buffer can go
+		// straight back to the shard's free list. Compact the drained
+		// prefix before appending: under steady flow the queue almost
+		// never empties completely (a tail above the watermark is the
+		// common case), so waiting for head == len would let the dead
+		// prefix — and the backing array — grow without bound. Shifting
+		// once the prefix passes half the queue keeps the cost amortized
+		// O(1) per record and the capacity at ~2× the live backlog.
+		if h := mg.epochHead[s]; h > 0 {
+			if h == len(mg.epochQ[s]) {
+				mg.epochQ[s] = mg.epochQ[s][:0]
+				mg.epochHead[s] = 0
+			} else if h > len(mg.epochQ[s])/2 {
+				n := copy(mg.epochQ[s], mg.epochQ[s][h:])
+				mg.epochQ[s] = mg.epochQ[s][:n]
+				mg.epochHead[s] = 0
+			}
 		}
+		mg.epochQ[s] = append(mg.epochQ[s], msg.epochs...)
 		mg.epochHeadIdx[s] = mg.epochQ[s][mg.epochHead[s]].idx
 	}
 	if len(msg.txs) > 0 {
-		if mg.txHead[s] == len(mg.txQ[s]) {
-			mg.txQ[s], mg.txHead[s] = msg.txs, 0
-		} else {
-			mg.txQ[s] = append(mg.txQ[s], msg.txs...)
+		if h := mg.txHead[s]; h > 0 {
+			if h == len(mg.txQ[s]) {
+				mg.txQ[s] = mg.txQ[s][:0]
+				mg.txHead[s] = 0
+			} else if h > len(mg.txQ[s])/2 {
+				n := copy(mg.txQ[s], mg.txQ[s][h:])
+				mg.txQ[s] = mg.txQ[s][:n]
+				mg.txHead[s] = 0
+			}
 		}
+		mg.txQ[s] = append(mg.txQ[s], msg.txs...)
 		mg.txHeadIdx[s] = mg.txQ[s][mg.txHead[s]].idx
 	}
 	if msg.mark > mg.marks[s] {
 		mg.marks[s] = msg.mark
-	}
-	safe := mg.marks[0]
-	for _, w := range mg.marks[1:] {
-		if w < safe {
-			safe = w
+		safe := mg.marks[0]
+		for _, w := range mg.marks[1:] {
+			if w < safe {
+				safe = w
+			}
+		}
+		// Batched watermark merge: only a strictly advanced minimum can
+		// unlock new epochs (a shard's fresh epochs always carry indices
+		// at or above its previous mark), so anything else skips the
+		// k-way drain entirely.
+		if safe > mg.safe {
+			mg.safe = safe
+			mg.drain(safe)
 		}
 	}
-	mg.drain(safe)
 }
 
 // drain retires, in ascending global index, every buffered epoch and
-// transaction below the safe watermark.
+// transaction below the safe watermark. Epochs accumulate into the WAW
+// batch; transactions append straight to the Figure 3 inputs in global
+// commit order, matching the serial append at each KTxEnd.
 func (mg *merger) drain(safe uint64) {
 	for {
 		best, bestIdx := -1, safe
@@ -425,11 +830,14 @@ func (mg *merger) drain(safe uint64) {
 			break
 		}
 		h := mg.epochHead[best]
-		mg.closeEpoch(&mg.epochQ[best][h])
+		mg.batch = append(mg.batch, mg.epochQ[best][h])
+		if len(mg.batch) >= wawBatchSize {
+			mg.flushBatch()
+		}
 		h++
 		if h == len(mg.epochQ[best]) {
-			epochPool.Put(mg.epochQ[best][:0])
-			mg.epochQ[best], h = nil, 0
+			mg.epochQ[best] = mg.epochQ[best][:0]
+			h = 0
 			mg.epochHeadIdx[best] = emptyQueue
 		} else {
 			mg.epochHeadIdx[best] = mg.epochQ[best][h].idx
@@ -446,14 +854,14 @@ func (mg *merger) drain(safe uint64) {
 		if best == -1 {
 			break
 		}
-		// Figure 3 inputs in global commit order, matching the serial
-		// append at each KTxEnd. The slice stays nil when there are no
-		// transactions, like the serial path.
+		// The slice stays nil when there are no transactions, like the
+		// serial path.
 		h := mg.txHead[best]
 		mg.a.TxEpochCounts = append(mg.a.TxEpochCounts, mg.txQ[best][h].count)
 		h++
 		if h == len(mg.txQ[best]) {
-			mg.txQ[best], h = nil, 0
+			mg.txQ[best] = mg.txQ[best][:0]
+			h = 0
 			mg.txHeadIdx[best] = emptyQueue
 		} else {
 			mg.txHeadIdx[best] = mg.txQ[best][h].idx
@@ -462,45 +870,48 @@ func (mg *merger) drain(safe uint64) {
 	}
 }
 
-// closeEpoch is the merge-side twin of the serial closeEpoch: size
-// histogram, singleton counts, and WAW dependency classification against
-// the global last-writer table.
-func (mg *merger) closeEpoch(ce *closedEpoch) {
-	a := mg.a
-	a.TotalEpochs++
-	n := len(ce.lines)
-	a.SizeHist[sizeBucket(n)]++
-	if n == 1 {
-		a.Singletons++
-		if ce.bytes < 10 {
-			a.SmallSingletons++
+// flushBatch fork-joins the buffered epochs across the line-partitioned
+// classifiers and folds the per-worker flags into the Figure 5 counts.
+// Batches flush in retirement order and the join is a barrier, so each
+// worker sees its lines in exactly the global epoch order.
+func (mg *merger) flushBatch() {
+	n := len(mg.batch)
+	if n == 0 {
+		return
+	}
+	for w, wk := range mg.workers {
+		if cap(mg.flags[w]) < n {
+			mg.flags[w] = make([]uint8, n)
+		}
+		mg.flags[w] = mg.flags[w][:n]
+		wk.in <- wawJob{batch: mg.batch, flags: mg.flags[w]}
+	}
+	for _, wk := range mg.workers {
+		<-wk.done
+	}
+	for i := 0; i < n; i++ {
+		var f uint8
+		for w := range mg.workers {
+			f |= mg.flags[w][i]
+		}
+		if f&flagSelf != 0 {
+			mg.a.SelfDepEpochs++
+		}
+		if f&flagCross != 0 {
+			mg.a.CrossDepEpochs++
 		}
 	}
-	self, cross := false, false
-	for _, l := range ce.lines {
-		w := mg.writers.slot(l)
-		if w.set {
-			if ce.start >= w.end && ce.start-w.end <= DependencyWindow {
-				if w.thread == ce.tid {
-					self = true
-				} else {
-					cross = true
-				}
-			} else if ce.start < w.end && ce.end-w.end <= DependencyWindow {
-				if w.thread == ce.tid {
-					self = true
-				} else {
-					cross = true
-				}
-			}
-		}
-		w.thread, w.end, w.set = ce.tid, ce.end, true
-	}
-	if self {
-		a.SelfDepEpochs++
-	}
-	if cross {
-		a.CrossDepEpochs++
+	mg.batch = mg.batch[:0]
+}
+
+// finish flushes the final partial batch and retires the worker fleet.
+// By the time the merge loop exits every shard has delivered its final
+// watermark (^0), so the last consume already drained every epoch into
+// the batch.
+func (mg *merger) finish() {
+	mg.flushBatch()
+	for _, wk := range mg.workers {
+		close(wk.in)
 	}
 }
 
@@ -511,10 +922,11 @@ func (mg *merger) closeEpoch(ce *closedEpoch) {
 // per-thread state machine — minus the per-event map lookups: thread
 // state is cached across consecutive events of the same TID, and the
 // open line set is a linearly-scanned slice until an epoch grows past
-// spillLines.
-func runShard(shard int, ch <-chan chunkMsg, out chan<- shardMsg, sharded *obs.Counter) {
+// spillLines. All order-independent statistics reduce here; only the
+// WAW-relevant epoch record goes to the merge.
+func runShard(shard int, ch <-chan chunkMsg, chunkFree chan<- []indexedEvent, epochFree <-chan []closedEpoch, out chan<- shardMsg, sharded *obs.Counter) {
 	var scal shardScalars
-	states := make(map[int32]*threadState)
+	var states threadStates
 	var lastTID int32
 	var lastST *threadState
 	var arena []mem.Line
@@ -528,11 +940,7 @@ func runShard(shard int, ch <-chan chunkMsg, out chan<- shardMsg, sharded *obs.C
 			e := msg.events[i].e
 			st := lastST
 			if st == nil || e.TID != lastTID {
-				st = states[e.TID]
-				if st == nil {
-					st = &threadState{lines: make([]mem.Line, 0, 8)}
-					states[e.TID] = st
-				}
+				st = states.get(e.TID)
 				lastTID, lastST = e.TID, st
 			}
 			switch e.Kind {
@@ -576,6 +984,14 @@ func runShard(shard int, ch <-chan chunkMsg, out chan<- shardMsg, sharded *obs.C
 					st.bytes = 0
 					continue
 				}
+				scal.totalEpochs++
+				scal.sizeHist[sizeBucket(n)]++
+				if n == 1 {
+					scal.singletons++
+					if st.bytes < 10 {
+						scal.smallSingletons++
+					}
+				}
 				var lines []mem.Line
 				if st.spill != nil {
 					scratch = scratch[:0]
@@ -587,14 +1003,18 @@ func runShard(shard int, ch <-chan chunkMsg, out chan<- shardMsg, sharded *obs.C
 					arena, lines = appendArena(arena, st.lines)
 				}
 				if epochs == nil {
-					epochs = epochPool.Get().([]closedEpoch)[:0]
+					select {
+					case b := <-epochFree:
+						epochs = b[:0]
+					default:
+						epochs = make([]closedEpoch, 0, 256)
+					}
 				}
 				epochs = append(epochs, closedEpoch{
 					idx:   msg.events[i].idx,
 					start: st.start,
 					end:   e.Time,
 					lines: lines,
-					bytes: st.bytes,
 					tid:   e.TID,
 				})
 				st.lines = st.lines[:0]
@@ -621,7 +1041,10 @@ func runShard(shard int, ch <-chan chunkMsg, out chan<- shardMsg, sharded *obs.C
 				scal.userBytes += uint64(e.Size)
 			}
 		}
-		chunkPool.Put(msg.events[:0])
+		select {
+		case chunkFree <- msg.events[:0]:
+		default:
+		}
 		out <- shardMsg{shard: shard, epochs: epochs, txs: txs, mark: msg.upTo}
 	}
 	out <- shardMsg{shard: shard, mark: ^uint64(0), final: &scal}

@@ -3,6 +3,7 @@ package epoch
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"github.com/whisper-pm/whisper/internal/mem"
@@ -89,62 +90,138 @@ func TestStreamStructured(t *testing.T) {
 	requireIdentical(t, serial, streamed)
 }
 
+// genRandomTrace builds a seeded random trace with contended lines,
+// interleaved transactions, and bursty fences — the shared workload of
+// the streaming equivalence tests.
+func genRandomTrace(seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	threads := 1 + rng.Intn(8)
+	tr := &trace.Trace{
+		App:            "rand",
+		Layer:          "native",
+		Threads:        threads,
+		VolatileLoads:  uint64(rng.Intn(1000)),
+		VolatileStores: uint64(rng.Intn(1000)),
+	}
+	n := 200 + rng.Intn(5000)
+	clock := mem.Time(1)
+	// Small line pool forces heavy WAW contention across threads.
+	pool := 1 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		tid := int32(rng.Intn(threads))
+		clock += mem.Time(rng.Intn(int(DependencyWindow) / 10))
+		e := trace.Event{TID: tid, Time: clock}
+		switch r := rng.Intn(100); {
+		case r < 55:
+			e.Kind = trace.KStore
+			if rng.Intn(4) == 0 {
+				e.Kind = trace.KStoreNT
+			}
+			e.Addr = mem.PMBase + mem.Addr(rng.Intn(pool))*mem.LineSize + mem.Addr(rng.Intn(8))
+			e.Size = uint32(rng.Intn(200)) // can cross lines; sometimes 0
+		case r < 75:
+			e.Kind = trace.KFence
+		case r < 80:
+			e.Kind = trace.KTxBegin
+		case r < 85:
+			e.Kind = trace.KTxEnd
+		case r < 90:
+			e.Kind = trace.KUserData
+			e.Size = uint32(rng.Intn(64))
+		case r < 94:
+			e.Kind = trace.KLoad
+			e.Addr = mem.PMBase
+		case r < 97:
+			e.Kind = trace.KVLoad
+			e.Addr = 64
+		default:
+			e.Kind = trace.KFlush
+			e.Addr = mem.PMBase
+			e.Size = 64
+		}
+		tr.Append(e)
+	}
+	return tr
+}
+
 // TestStreamMatchesSerialRandom is the equivalence property test: on
-// randomized traces with contended lines, interleaved transactions, and
-// bursty fences, AnalyzeStream must equal Analyze exactly.
+// randomized traces, AnalyzeStream must equal Analyze exactly.
 func TestStreamMatchesSerialRandom(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		threads := 1 + rng.Intn(8)
-		tr := &trace.Trace{
-			App:            "rand",
-			Layer:          "native",
-			Threads:        threads,
-			VolatileLoads:  uint64(rng.Intn(1000)),
-			VolatileStores: uint64(rng.Intn(1000)),
-		}
-		n := 200 + rng.Intn(5000)
-		clock := mem.Time(1)
-		// Small line pool forces heavy WAW contention across threads.
-		pool := 1 + rng.Intn(40)
-		for i := 0; i < n; i++ {
-			tid := int32(rng.Intn(threads))
-			clock += mem.Time(rng.Intn(int(DependencyWindow) / 10))
-			e := trace.Event{TID: tid, Time: clock}
-			switch r := rng.Intn(100); {
-			case r < 55:
-				e.Kind = trace.KStore
-				if rng.Intn(4) == 0 {
-					e.Kind = trace.KStoreNT
-				}
-				e.Addr = mem.PMBase + mem.Addr(rng.Intn(pool))*mem.LineSize + mem.Addr(rng.Intn(8))
-				e.Size = uint32(rng.Intn(200)) // can cross lines; sometimes 0
-			case r < 75:
-				e.Kind = trace.KFence
-			case r < 80:
-				e.Kind = trace.KTxBegin
-			case r < 85:
-				e.Kind = trace.KTxEnd
-			case r < 90:
-				e.Kind = trace.KUserData
-				e.Size = uint32(rng.Intn(64))
-			case r < 94:
-				e.Kind = trace.KLoad
-				e.Addr = mem.PMBase
-			case r < 97:
-				e.Kind = trace.KVLoad
-				e.Addr = 64
-			default:
-				e.Kind = trace.KFlush
-				e.Addr = mem.PMBase
-				e.Size = 64
-			}
-			tr.Append(e)
-		}
-		serial, streamed := analyzeBoth(t, tr)
+		serial, streamed := analyzeBoth(t, genRandomTrace(seed))
 		if !reflect.DeepEqual(serial, streamed) {
 			t.Fatalf("seed %d: streamed analysis diverges\nserial:   %+v\nstreamed: %+v", seed, serial, streamed)
 		}
+	}
+}
+
+// TestStreamShardMatrix pins the shard count directly (bypassing the
+// GOMAXPROCS clamp) and sweeps GOMAXPROCS × shard count over random
+// traces: every configuration — inline path, partial fan-out, full
+// 16-way fan-out on a single P — must be DeepEqual to the serial
+// analyzer.
+func TestStreamShardMatrix(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, nshards := range []int{1, 2, 4, 16} {
+			for seed := int64(0); seed < 6; seed++ {
+				tr := genRandomTrace(seed)
+				serial := Analyze(tr)
+				streamed, err := analyzeStream(trace.NewSliceSource(tr), nshards)
+				if err != nil {
+					t.Fatalf("procs=%d shards=%d seed=%d: analyzeStream: %v", procs, nshards, seed, err)
+				}
+				if !reflect.DeepEqual(serial, streamed) {
+					t.Fatalf("procs=%d shards=%d seed=%d: diverges\nserial:   %+v\nstreamed: %+v",
+						procs, nshards, seed, serial, streamed)
+				}
+			}
+		}
+	}
+}
+
+// TestShardCount pins the fan-out policy: power-of-two cover of the
+// thread count, clamped to GOMAXPROCS and maxShards, with degenerate
+// metadata falling back to one shard.
+func TestShardCount(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	cases := []struct {
+		threads, procs, want int
+	}{
+		{threads: 0, procs: 4, want: 1},  // degenerate metadata
+		{threads: -3, procs: 4, want: 1}, // degenerate metadata
+		{threads: 1, procs: 8, want: 1},
+		{threads: 4, procs: 1, want: 1}, // 1-CPU box: always inline
+		{threads: 4, procs: 2, want: 2},
+		{threads: 4, procs: 4, want: 4},
+		{threads: 8, procs: 3, want: 2}, // never exceed GOMAXPROCS
+		{threads: 5, procs: 16, want: 8},
+		{threads: 100, procs: 16, want: maxShards},
+	}
+	for _, c := range cases {
+		runtime.GOMAXPROCS(c.procs)
+		if got := shardCount(c.threads); got != c.want {
+			t.Errorf("shardCount(threads=%d) at GOMAXPROCS=%d = %d, want %d",
+				c.threads, c.procs, got, c.want)
+		}
+	}
+}
+
+// TestStreamDegenerateThreads is the regression test for Meta.Threads <= 0
+// (hand-built or corrupt traces): AnalyzeStream must fall back to one
+// shard and still match the serial analyzer.
+func TestStreamDegenerateThreads(t *testing.T) {
+	for _, threads := range []int{0, -5} {
+		tr := mk(
+			st(0, 1, mem.PMBase, 8),
+			fence(0, 2),
+			st(1, 3, mem.PMBase, 8),
+			fence(1, 4),
+		)
+		tr.Threads = threads
+		serial, streamed := analyzeBoth(t, tr)
+		requireIdentical(t, serial, streamed)
 	}
 }
 

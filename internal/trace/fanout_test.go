@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func fanoutTestTrace() *Trace {
+	tr := &Trace{App: "fan", Layer: "native", Threads: 2, VolatileLoads: 7, VolatileStores: 9}
+	for i := 0; i < 3*fanoutChunkEvents+17; i++ {
+		tr.Append(Event{Kind: KStore, TID: int32(i % 2), Time: memTime(uint64(i + 1)), Addr: memAddr(uint64(64 * i)), Size: 8})
+	}
+	return tr
+}
+
+// drainBranch reads a branch to EOF (via Next or NextChunk) and returns
+// the events plus the post-EOF volatile counters.
+func drainBranch(t *testing.T, b *Branch, chunked bool) ([]Event, uint64, uint64) {
+	t.Helper()
+	var got []Event
+	for {
+		if chunked {
+			c, err := b.NextChunk()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Errorf("NextChunk: %v", err)
+				break
+			}
+			got = append(got, c...)
+		} else {
+			e, err := b.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Errorf("Next: %v", err)
+				break
+			}
+			got = append(got, e)
+		}
+	}
+	vl, vs := b.Volatile()
+	return got, vl, vs
+}
+
+func TestFanoutAllBranchesSeeFullStream(t *testing.T) {
+	tr := fanoutTestTrace()
+	for _, src := range []struct {
+		name string
+		mk   func() EventSource
+	}{
+		{"chunk-source", func() EventSource { return NewSliceSource(tr) }},
+		{"next-only", func() EventSource {
+			var buf bytes.Buffer
+			if err := EncodeV2(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			rd, err := NewReader(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rd
+		}},
+	} {
+		t.Run(src.name, func(t *testing.T) {
+			branches := Fanout(src.mk(), 3)
+			events := make([][]Event, len(branches))
+			var wg sync.WaitGroup
+			for i, b := range branches {
+				wg.Add(1)
+				go func(i int, b *Branch) {
+					defer wg.Done()
+					// Mix consumption styles across branches.
+					ev, vl, vs := drainBranch(t, b, i%2 == 0)
+					if vl != tr.VolatileLoads || vs != tr.VolatileStores {
+						t.Errorf("branch %d: Volatile = (%d, %d), want (%d, %d)",
+							i, vl, vs, tr.VolatileLoads, tr.VolatileStores)
+					}
+					events[i] = ev
+				}(i, b)
+			}
+			wg.Wait()
+			for i, ev := range events {
+				if !reflect.DeepEqual(ev, tr.Events) {
+					t.Fatalf("branch %d saw %d events, diverges from source (%d events)",
+						i, len(ev), len(tr.Events))
+				}
+			}
+		})
+	}
+}
+
+func TestFanoutEarlyCloseReleasesPump(t *testing.T) {
+	tr := fanoutTestTrace()
+	branches := Fanout(NewSliceSource(tr), 2)
+	// Branch 1 abandons immediately; branch 0 must still drain the whole
+	// stream without the pump stalling on the dead branch.
+	branches[1].Close()
+	got, _, _ := drainBranch(t, branches[0], true)
+	if !reflect.DeepEqual(got, tr.Events) {
+		t.Fatalf("surviving branch saw %d events, want %d", len(got), len(tr.Events))
+	}
+}
+
+// failingSource errors after a few events; every branch must observe the
+// same prefix and then the error.
+type failingSource struct {
+	n   int
+	err error
+}
+
+func (f *failingSource) Meta() Meta { return Meta{App: "fail", Threads: 1} }
+func (f *failingSource) Next() (Event, error) {
+	if f.n == 0 {
+		return Event{}, f.err
+	}
+	f.n--
+	return Event{Kind: KStore, TID: 0, Time: 1, Addr: 0, Size: 8}, nil
+}
+func (f *failingSource) Volatile() (uint64, uint64) { return 0, 0 }
+
+func TestFanoutPropagatesSourceError(t *testing.T) {
+	wantErr := errors.New("mid-stream corruption")
+	branches := Fanout(&failingSource{n: 5, err: wantErr}, 2)
+	for i, b := range branches {
+		seen := 0
+		var err error
+		for {
+			_, err = b.Next()
+			if err != nil {
+				break
+			}
+			seen++
+		}
+		if seen != 5 {
+			t.Errorf("branch %d: saw %d events before error, want 5", i, seen)
+		}
+		if err != wantErr {
+			t.Errorf("branch %d: err = %v, want %v", i, err, wantErr)
+		}
+	}
+}

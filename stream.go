@@ -92,9 +92,12 @@ func RunStream(name string, cfg Config, traceOut io.Writer) (*Report, error) {
 	return rep, err
 }
 
-// runStreamed is the shared streaming body: benchmark producer goroutine,
-// optional trace tee, optional inline sanitizer tap, sharded analysis.
-func runStreamed(name string, cfg Config, traceOut io.Writer, sanitize bool) (*Report, *SanReport, error) {
+// startStream prepares the channel-backed source for the named benchmark
+// and returns it with a launch function that starts the producer
+// goroutine. Splitting preparation from launch lets callers finish
+// fallible setup (e.g. creating a trace writer from src's metadata)
+// before any goroutine exists to leak.
+func startStream(name string, cfg Config) (src *chanSource, launch func(), err error) {
 	b, err := find(name)
 	if err != nil {
 		return nil, nil, err
@@ -108,9 +111,53 @@ func runStreamed(name string, cfg Config, traceOut io.Writer, sanitize bool) (*R
 		ops = b.defaultOps
 	}
 
-	src := &chanSource{
+	src = &chanSource{
 		meta: trace.Meta{App: b.Name, Layer: b.Layer, Threads: clients},
 		ch:   make(chan []trace.Event, 8),
+	}
+	launch = func() {
+		go func() {
+			rt := persist.NewRuntime(b.Name, b.Layer, clients, persist.Config{})
+			chunk := make([]trace.Event, 0, streamChunk)
+			flush := func() {
+				if len(chunk) > 0 {
+					src.ch <- chunk
+					chunk = make([]trace.Event, 0, streamChunk)
+				}
+			}
+			// The sink runs under the benchmark's deterministic scheduler;
+			// only this goroutine touches chunk.
+			rt.SetEventSink(func(e trace.Event) {
+				chunk = append(chunk, e)
+				if len(chunk) == streamChunk {
+					flush()
+				}
+			})
+			defer func() {
+				// A benchmark panic must not wedge the analysis side: record
+				// the failure, then close the channel so Next unblocks.
+				if r := recover(); r != nil {
+					src.runErr = fmt.Errorf("whisper: %s panicked: %v", b.Name, r)
+				}
+				flush()
+				src.vloads = rt.Trace.VolatileLoads
+				src.vstores = rt.Trace.VolatileStores
+				close(src.ch)
+			}()
+			start := time.Now()
+			b.run(rt, clients, ops, cfg.Seed)
+			publishRunMetrics(b.Name, rt, time.Since(start), clients*ops)
+		}()
+	}
+	return src, launch, nil
+}
+
+// runStreamed is the shared streaming body: benchmark producer goroutine,
+// optional trace tee, optional inline sanitizer tap, sharded analysis.
+func runStreamed(name string, cfg Config, traceOut io.Writer, sanitize bool) (*Report, *SanReport, error) {
+	src, launch, err := startStream(name, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	var tw *trace.Writer
 	if traceOut != nil {
@@ -119,39 +166,7 @@ func runStreamed(name string, cfg Config, traceOut io.Writer, sanitize bool) (*R
 			return nil, nil, err
 		}
 	}
-
-	go func() {
-		rt := persist.NewRuntime(b.Name, b.Layer, clients, persist.Config{})
-		chunk := make([]trace.Event, 0, streamChunk)
-		flush := func() {
-			if len(chunk) > 0 {
-				src.ch <- chunk
-				chunk = make([]trace.Event, 0, streamChunk)
-			}
-		}
-		// The sink runs under the benchmark's deterministic scheduler;
-		// only this goroutine touches chunk and tw.
-		rt.SetEventSink(func(e trace.Event) {
-			chunk = append(chunk, e)
-			if len(chunk) == streamChunk {
-				flush()
-			}
-		})
-		defer func() {
-			// A benchmark panic must not wedge the analysis side: record
-			// the failure, then close the channel so Next unblocks.
-			if r := recover(); r != nil {
-				src.runErr = fmt.Errorf("whisper: %s panicked: %v", b.Name, r)
-			}
-			flush()
-			src.vloads = rt.Trace.VolatileLoads
-			src.vstores = rt.Trace.VolatileStores
-			close(src.ch)
-		}()
-		start := time.Now()
-		b.run(rt, clients, ops, cfg.Seed)
-		publishRunMetrics(b.Name, rt, time.Since(start), clients*ops)
-	}()
+	launch()
 
 	// The consumer chain: channel source, optionally tee'd to the trace
 	// writer, optionally tapped by the sanitizer. The sanitizer wrapper
