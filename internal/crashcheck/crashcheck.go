@@ -318,6 +318,20 @@ func crashSeed(seed int64, point int, mode Mode) int64 {
 	return seed*1000003 + int64(point)*8191 + int64(mode)*131 + 17
 }
 
+// SampleDurable materializes one durable image a crash at this instant
+// could leave, without disturbing dev: the device is cloned and the clone
+// is crashed under mode's adversary with the same cell-coordinate seed
+// derivation every checker cell uses. The persistency-model checker
+// (internal/pmodel) cross-validates its exhaustive durable-state
+// enumeration against exactly these sampled images, so the two tools
+// share one definition of "a state the device's crash adversary can
+// produce".
+func SampleDurable(dev *pmem.Device, mode Mode, seed int64, point int) *pmem.Device {
+	c := dev.Clone()
+	c.Crash(deviceMode(mode), crashSeed(seed, point, mode))
+	return c
+}
+
 // DurableImageHash runs a single cell up to and including the device crash
 // and returns the SHA-256 of the canonical durable-image snapshot. Two
 // invocations with identical coordinates must agree byte for byte — the

@@ -1,0 +1,205 @@
+package pmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+// The litmus DSL is line-oriented. A file holds one program:
+//
+//	# comment (also allowed trailing)
+//	litmus <name>               optional, default "anon"
+//	model px86|epoch            optional, default px86
+//	thread:                     starts the next thread's op list
+//	  st <var> <val>            cacheable store     (alias: store)
+//	  st.nt <var> <val>         non-temporal store  (alias: store.nt)
+//	  flush <var> [<bytes>]     CLWB, default the full 8-byte variable;
+//	                            0 is the persist.Flush no-op path
+//	  fence                     SFENCE / ofence
+//	  tx.begin                  transaction begin
+//	  tx.end                    commit / dfence     (alias: commit)
+//	invariant <expr>            may repeat; conjunction of all lines
+//
+// Variables are declared implicitly on first use — in an op or in the
+// invariant — and each occupies its own PM cache line. Values are
+// unsigned (decimal or 0x hex).
+
+// Parse parses DSL source into a validated Program.
+func Parse(src string) (*Program, error) {
+	p := &Program{Name: "anon"}
+	varIdx := make(map[string]uint8)
+	resolve := func(name string) (uint8, error) {
+		if i, ok := varIdx[name]; ok {
+			return i, nil
+		}
+		if len(p.Vars) >= MaxVars {
+			return 0, fmt.Errorf("too many variables (max %d)", MaxVars)
+		}
+		i := uint8(len(p.Vars))
+		varIdx[name] = i
+		p.Vars = append(p.Vars, name)
+		return i, nil
+	}
+
+	var invSrcs []string
+	cur := -1 // current thread, -1 = none open
+	sawModel := false
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("pmodel: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "litmus":
+			if len(f) != 2 {
+				return nil, fail("usage: litmus <name>")
+			}
+			p.Name = f[1]
+			continue
+		case "model":
+			if len(f) != 2 {
+				return nil, fail("usage: model px86|epoch")
+			}
+			m, ok := ModelByName(f[1])
+			if !ok {
+				return nil, fail("unknown model %q (have px86, epoch)", f[1])
+			}
+			if sawModel {
+				return nil, fail("duplicate model line")
+			}
+			p.Model, sawModel = m, true
+			continue
+		case "thread", "thread:":
+			// "thread:" or "thread <i>:" — the index, when given, must
+			// match the declaration order so programs read unambiguously.
+			rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "thread")), ":")
+			if rest != "" {
+				i, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil || i != len(p.Threads) {
+					return nil, fail("thread %q out of order (next is thread %d)", rest, len(p.Threads))
+				}
+			}
+			if len(p.Threads) >= MaxThreads {
+				return nil, fail("too many threads (max %d)", MaxThreads)
+			}
+			p.Threads = append(p.Threads, nil)
+			cur = len(p.Threads) - 1
+			continue
+		case "invariant":
+			expr := strings.TrimSpace(strings.TrimPrefix(line, "invariant"))
+			if expr == "" {
+				return nil, fail("usage: invariant <expr>")
+			}
+			e, err := ParseExpr(expr, resolve)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if p.Invariant == nil {
+				p.Invariant = e
+			} else {
+				p.Invariant = &Expr{op: opAnd, l: p.Invariant, r: e}
+			}
+			invSrcs = append(invSrcs, expr)
+			continue
+		}
+
+		// Anything else is an op line and needs an open thread.
+		if cur < 0 {
+			return nil, fail("op %q outside a thread block", f[0])
+		}
+		op, err := parseOp(f, resolve)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		p.Threads[cur] = append(p.Threads[cur], op)
+	}
+	p.InvariantSrc = strings.Join(invSrcs, " && ")
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse parses DSL source and panics on error; for the builtin suite.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseOp(f []string, resolve func(string) (uint8, error)) (Op, error) {
+	kind, ok := opKind(f[0])
+	if !ok {
+		return Op{}, fmt.Errorf("unknown op %q", f[0])
+	}
+	switch kind {
+	case trace.KStore, trace.KStoreNT:
+		if len(f) != 3 {
+			return Op{}, fmt.Errorf("usage: %s <var> <val>", f[0])
+		}
+		v, err := resolve(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		val, err := strconv.ParseUint(f[2], 0, 64)
+		if err != nil {
+			return Op{}, fmt.Errorf("bad value %q", f[2])
+		}
+		return Op{Kind: kind, Var: v, Val: val, Size: varBytes}, nil
+	case trace.KFlush:
+		if len(f) != 2 && len(f) != 3 {
+			return Op{}, fmt.Errorf("usage: flush <var> [<bytes>]")
+		}
+		v, err := resolve(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		size := int64(varBytes)
+		if len(f) == 3 {
+			if size, err = strconv.ParseInt(f[2], 0, 32); err != nil || size < 0 || size > varBytes {
+				return Op{}, fmt.Errorf("bad flush size %q (0..%d)", f[2], varBytes)
+			}
+		}
+		return Op{Kind: kind, Var: v, Size: int32(size)}, nil
+	default:
+		if len(f) != 1 {
+			return Op{}, fmt.Errorf("%s takes no operands", f[0])
+		}
+		return Op{Kind: kind}, nil
+	}
+}
+
+// opKind resolves a DSL mnemonic, falling back to the shared trace kind
+// names so "store"/"store.nt"/"tx.end" spell the same ops.
+func opKind(name string) (trace.Kind, bool) {
+	switch name {
+	case "st":
+		return trace.KStore, true
+	case "st.nt":
+		return trace.KStoreNT, true
+	case "commit":
+		return trace.KTxEnd, true
+	}
+	k, ok := trace.KindByName(name)
+	if !ok {
+		return 0, false
+	}
+	switch k {
+	case trace.KStore, trace.KStoreNT, trace.KFlush, trace.KFence, trace.KTxBegin, trace.KTxEnd:
+		return k, true
+	}
+	return 0, false
+}

@@ -1,0 +1,129 @@
+package pmodel
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/trace"
+)
+
+func TestParseFull(t *testing.T) {
+	p, err := Parse(`
+# the canonical publish, spelled with every DSL feature
+litmus publish
+model px86
+thread 0:
+  st x 1        # dirty the data line
+  flush x 8
+  fence
+thread 1:
+  store.nt y 0x10
+  tx.begin
+  commit
+invariant y==0x10 -> x==1
+invariant x <= 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "publish" || p.Model != ModelPx86 {
+		t.Fatalf("name=%q model=%s", p.Name, p.Model)
+	}
+	if len(p.Threads) != 2 || len(p.Vars) != 2 {
+		t.Fatalf("threads=%d vars=%v", len(p.Threads), p.Vars)
+	}
+	wantT0 := []Op{
+		{Kind: trace.KStore, Var: 0, Val: 1, Size: 8},
+		{Kind: trace.KFlush, Var: 0, Size: 8},
+		{Kind: trace.KFence},
+	}
+	for i, w := range wantT0 {
+		if p.Threads[0][i] != w {
+			t.Errorf("thread 0 op %d = %+v, want %+v", i, p.Threads[0][i], w)
+		}
+	}
+	wantT1 := []Op{
+		{Kind: trace.KStoreNT, Var: 1, Val: 16, Size: 8},
+		{Kind: trace.KTxBegin},
+		{Kind: trace.KTxEnd},
+	}
+	for i, w := range wantT1 {
+		if p.Threads[1][i] != w {
+			t.Errorf("thread 1 op %d = %+v, want %+v", i, p.Threads[1][i], w)
+		}
+	}
+	if p.InvariantSrc != "y==0x10 -> x==1 && x <= 1" {
+		t.Errorf("InvariantSrc = %q", p.InvariantSrc)
+	}
+	// The conjunction of the two lines must hold on (x=1, y=16).
+	if !p.Invariant.Eval([]uint64{1, 16}) {
+		t.Error("conjoined invariant rejects the intended state")
+	}
+	if p.Invariant.Eval([]uint64{0, 16}) {
+		t.Error("conjoined invariant accepts y published without x")
+	}
+}
+
+func TestParseVarDeclaredInInvariantOnly(t *testing.T) {
+	p, err := Parse("invariant ghost == 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vars) != 1 || p.Vars[0] != "ghost" {
+		t.Fatalf("vars = %v", p.Vars)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"op outside thread":   "st x 1\n",
+		"unknown op":          "thread:\n  mov x 1\n",
+		"load is not litmus":  "thread:\n  load x 8\n",
+		"bad value":           "thread:\n  st x one\n",
+		"bad flush size":      "thread:\n  flush x 9\n",
+		"negative flush size": "thread:\n  flush x -1\n",
+		"thread out of order": "thread 1:\n",
+		"duplicate model":     "model px86\nmodel epoch\n",
+		"unknown model":       "model tso\n",
+		"bad invariant":       "invariant x ==\n",
+		"empty invariant":     "invariant\n",
+		"fence operand":       "thread:\n  fence x\n",
+		"nested tx":           "thread:\n  tx.begin\n  tx.begin\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		} else if !strings.Contains(err.Error(), "pmodel") {
+			t.Errorf("%s: error %q lacks package prefix", name, err)
+		}
+	}
+}
+
+func TestSuiteShapesAllParse(t *testing.T) {
+	for _, s := range Suite() {
+		p, err := Parse(s.DSL)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if p.Name != s.Name {
+			t.Errorf("shape %s declares litmus name %s", s.Name, p.Name)
+		}
+		if p.Invariant == nil {
+			t.Errorf("%s: no invariant", s.Name)
+		}
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	// The DSL accepts the trace spellings for every legal litmus kind.
+	for _, k := range []trace.Kind{trace.KStore, trace.KStoreNT, trace.KFlush, trace.KFence, trace.KTxBegin, trace.KTxEnd} {
+		got, ok := opKind(k.String())
+		if !ok || got != k {
+			t.Errorf("opKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := opKind("load"); ok {
+		t.Error("opKind accepted load")
+	}
+}

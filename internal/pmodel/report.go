@@ -1,0 +1,71 @@
+package pmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report caps: with a small durable set every state is listed (V-marked
+// when violating); past maxReportStates only violations render, capped at
+// maxReportViolations with an elision line — the same shape discipline as
+// pmsan's diagnostic truncation, and equally deterministic because the
+// state lists are sorted.
+const (
+	maxReportStates     = 32
+	maxReportViolations = 64
+)
+
+// Report renders the result. The output is byte-stable: it depends only
+// on the program and the sorted durable-state sets, never on map order,
+// exploration order, or timing — the determinism test re-checks this over
+// 20 runs.
+func (r *Result) Report() string {
+	var b strings.Builder
+	p := r.Program
+	fmt.Fprintf(&b, "litmus: shape=%s model=%s threads=%d vars=%d ops=%d\n",
+		p.Name, p.Model, len(p.Threads), len(p.Vars), p.TotalOps())
+	inv := p.InvariantSrc
+	if p.Invariant == nil {
+		inv = "(none)"
+	}
+	fmt.Fprintf(&b, "  invariant: %s\n", inv)
+	verdict := "CLEAN"
+	if !r.Clean() {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(&b, "  states=%d transitions=%d prunes=%d durable=%d violations=%d verdict=%s\n",
+		r.States, r.Transitions, r.Prunes, len(r.Durable), len(r.Violations), verdict)
+	if len(r.Durable) <= maxReportStates {
+		for _, vals := range r.Durable {
+			mark := "S"
+			if p.Invariant != nil && !p.Invariant.Eval(vals) {
+				mark = "V"
+			}
+			fmt.Fprintf(&b, "  %s %s\n", mark, formatVals(p.Vars, vals))
+		}
+		return b.String()
+	}
+	shown := len(r.Violations)
+	if shown > maxReportViolations {
+		shown = maxReportViolations
+	}
+	for _, vals := range r.Violations[:shown] {
+		fmt.Fprintf(&b, "  V %s\n", formatVals(p.Vars, vals))
+	}
+	if n := len(r.Violations) - shown; n > 0 {
+		fmt.Fprintf(&b, "  V +%d more\n", n)
+	}
+	fmt.Fprintf(&b, "  S %d states not listed\n", len(r.Durable)-shown)
+	return b.String()
+}
+
+func formatVals(names []string, vals []uint64) string {
+	if len(vals) == 0 {
+		return "(no vars)"
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%s=%d", names[i], v)
+	}
+	return strings.Join(parts, " ")
+}

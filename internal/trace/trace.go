@@ -54,6 +54,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// KindByName maps a kind's String name ("store", "flush", "tx.end", ...)
+// back to the Kind, so text front-ends (the litmus DSL in internal/pmodel)
+// share one set of spellings with trace rendering.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
 // Event is one trace record. Addr/Size are meaningful for memory events;
 // for KFence, KTxBegin and KTxEnd they are zero. For KUserData, Size holds
 // the payload byte count.

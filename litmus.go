@@ -1,0 +1,104 @@
+package whisper
+
+import (
+	"fmt"
+
+	"github.com/whisper-pm/whisper/internal/pmodel"
+)
+
+// Persistency-model litmus checker (pmodel). Where the sanitizer replays
+// the one executed interleaving and the crash checker samples crash
+// points along it, the litmus checker enumerates — for a small program
+// written in the litmus DSL — every durable state its persistency model
+// can leave behind a crash, and evaluates a recovery invariant against
+// each. The builtin suite pins the classic ordering shapes plus the bug
+// shapes earlier crash-sampling PRs caught, now rediscovered
+// exhaustively.
+
+// LitmusResult wraps one enumeration: counters, the reachable durable
+// set, and the invariant verdict.
+type LitmusResult struct {
+	res *pmodel.Result
+}
+
+// Clean reports whether every reachable durable state satisfies the
+// program's invariant.
+func (r *LitmusResult) Clean() bool { return r.res.Clean() }
+
+// States returns the number of states the search visited.
+func (r *LitmusResult) States() uint64 { return r.res.States }
+
+// DurableStates returns the number of distinct reachable durable states.
+func (r *LitmusResult) DurableStates() int { return len(r.res.Durable) }
+
+// Violations returns the number of durable states failing the invariant.
+func (r *LitmusResult) Violations() int { return len(r.res.Violations) }
+
+// Report renders the byte-stable litmus report.
+func (r *LitmusResult) Report() string { return r.res.Report() }
+
+// CrossValidate replays the program on the simulated device, crash-samples
+// it through crashcheck's modes at every operation boundary, and verifies
+// each sampled durable image is in the enumerated set. It returns the
+// number of sampled images missing from the enumeration (zero is the
+// contract) plus the sample count. Only Px86 programs — the device's own
+// model — can be cross-validated.
+func (r *LitmusResult) CrossValidate(seeds int) (missing, samples int, err error) {
+	x, err := pmodel.CrossValidate(r.res.Program, r.res, pmodel.XValConfig{Seeds: seeds})
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(x.Missing), x.Samples, nil
+}
+
+// LitmusShapes returns the builtin shape names in suite order.
+func LitmusShapes() []string {
+	var names []string
+	for _, s := range pmodel.Suite() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// RunLitmusShape checks one builtin shape by name.
+func RunLitmusShape(name string) (*LitmusResult, error) {
+	s, ok := pmodel.ShapeByName(name)
+	if !ok {
+		return nil, fmt.Errorf("whisper: unknown litmus shape %q", name)
+	}
+	return RunLitmusProgram(s.DSL)
+}
+
+// RunLitmusProgram parses litmus DSL source and enumerates it.
+func RunLitmusProgram(src string) (*LitmusResult, error) {
+	p, err := pmodel.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pmodel.Check(p, pmodel.CheckConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return &LitmusResult{res: res}, nil
+}
+
+// LitmusSuiteResult wraps one run of the builtin suite.
+type LitmusSuiteResult struct {
+	sr *pmodel.SuiteResult
+}
+
+// Report renders every shape report plus the summary line, byte-stably.
+func (s *LitmusSuiteResult) Report() string { return s.sr.Report() }
+
+// Unexpected returns the number of shapes whose verdict contradicts the
+// suite's pinned expectation; zero means the suite is healthy.
+func (s *LitmusSuiteResult) Unexpected() int { return s.sr.Unexpected() }
+
+// RunLitmusSuite enumerates every builtin shape.
+func RunLitmusSuite() (*LitmusSuiteResult, error) {
+	sr, err := pmodel.RunSuite(pmodel.CheckConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return &LitmusSuiteResult{sr: sr}, nil
+}

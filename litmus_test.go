@@ -1,0 +1,62 @@
+package whisper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLitmusSuiteWrapper(t *testing.T) {
+	sr, err := RunLitmusSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Unexpected() != 0 {
+		t.Fatalf("suite has %d unexpected verdicts:\n%s", sr.Unexpected(), sr.Report())
+	}
+	if !strings.Contains(sr.Report(), "wlitmus: shapes=") {
+		t.Fatal("suite report lacks summary line")
+	}
+	if len(LitmusShapes()) != 15 {
+		t.Fatalf("LitmusShapes() = %d names", len(LitmusShapes()))
+	}
+}
+
+func TestLitmusProgramWrapper(t *testing.T) {
+	res, err := RunLitmusProgram(`
+thread:
+  st x 1
+  flush x
+  fence
+  st y 1
+invariant y==1 -> x==1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() || res.Violations() != 0 || res.DurableStates() != 3 {
+		t.Fatalf("clean=%v violations=%d durable=%d", res.Clean(), res.Violations(), res.DurableStates())
+	}
+	missing, samples, err := res.CrossValidate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing != 0 || samples == 0 {
+		t.Fatalf("crossval missing=%d samples=%d", missing, samples)
+	}
+}
+
+func TestLitmusShapeWrapper(t *testing.T) {
+	res, err := RunLitmusShape("dirty-at-commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean() {
+		t.Fatal("dirty-at-commit enumerated clean")
+	}
+	if _, err := RunLitmusShape("nope"); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+	if _, err := RunLitmusProgram("thread:\n  bogus x 1\n"); err == nil {
+		t.Fatal("bad DSL accepted")
+	}
+}
