@@ -1,0 +1,201 @@
+// Command wserve sweeps the sharded PM key-value service across shard
+// count × group-commit batch size × client-fleet size and emits the
+// capacity curve — how many open-loop clients each configuration serves
+// while holding p99 latency under the SLO — as a deterministic JSON
+// artifact (the committed BENCH_kv_service.json is one of these).
+//
+// Usage:
+//
+//	wserve                           # full sweep, JSON to stdout
+//	wserve -o BENCH_kv_service.json  # write the artifact
+//	wserve -check ref.json           # sweep, then gate p99 against the
+//	                                 # reference envelope (exit 1 on
+//	                                 # regression; -slack widens it)
+//	wserve -san                      # run the largest cell and stream its
+//	                                 # merged trace through the durability
+//	                                 # sanitizer (exit 1 on any error site)
+//	wserve -metrics m.json           # dump process metrics on exit (only
+//	                                 # the -san run reports into them; sweep
+//	                                 # cells use private registries so rows
+//	                                 # stay independent)
+//
+// The sweep is deterministic: every cell reseeds from -seed and runs on
+// a private metrics registry, so the same flags produce byte-identical
+// JSON, and a subset sweep (the CI smoke job) reproduces the exact rows
+// of the full reference artifact.
+//
+// Exit status is 1 on an envelope regression or sanitizer errors, 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/whisper-pm/whisper/internal/cliutil"
+	"github.com/whisper-pm/whisper/internal/kvservice"
+	"github.com/whisper-pm/whisper/internal/obs"
+	"github.com/whisper-pm/whisper/internal/pmsan"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges injected, so error-path tests can
+// call it directly. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		shards   = fs.String("shards", "1,2,4", "comma-separated shard counts")
+		batch    = fs.String("batch", "1,8,32", "comma-separated group-commit batch sizes")
+		clients  = fs.String("clients", "500,1000,2000,4000,8000", "comma-separated client-fleet sizes")
+		rate     = fs.Float64("rate", 1000, "per-client offered load, ops/sec")
+		ops      = fs.Int("ops", 20000, "requests simulated per cell")
+		keys     = fs.Uint64("keys", 1<<16, "keyspace size")
+		write    = fs.Int("write", 80, "write percentage")
+		value    = fs.Int("value", 128, "value size, bytes")
+		zipfS    = fs.Float64("zipf", 1.1, "zipfian key skew (>1)")
+		maxwait  = fs.Uint64("maxwait", 2000, "group-commit deadline, simulated ns")
+		opcycles = fs.Uint64("opcycles", 200, "per-request compute charge, cycles")
+		seed     = fs.Int64("seed", 1, "PRNG seed")
+		p99limit = fs.Float64("p99", 25, "capacity SLO: p99 limit, µs")
+		out      = fs.String("o", "", "write sweep JSON to this file instead of stdout")
+		check    = fs.String("check", "", "reference sweep JSON to gate p99 against")
+		slack    = fs.Float64("slack", 1.25, "allowed p99 multiplier over the reference")
+		san      = fs.Bool("san", false, "sanitize the merged trace of the largest cell")
+		metrics  = fs.String("metrics", "", "write metrics snapshot JSON to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	shardList, err1 := parseIntList(*shards)
+	batchList, err2 := parseIntList(*batch)
+	clientList, err3 := parseIntList(*clients)
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			fmt.Fprintf(stderr, "wserve: %v\n", err)
+			return 2
+		}
+	}
+
+	if *san {
+		cfg := kvservice.SimConfig{
+			Shards:          shardList[len(shardList)-1],
+			Batch:           batchList[len(batchList)-1],
+			Clients:         clientList[len(clientList)-1],
+			ClientOpsPerSec: *rate,
+			Ops:             *ops,
+			Keys:            *keys,
+			WritePct:        *write,
+			ValueLen:        *value,
+			ZipfS:           *zipfS,
+			MaxWaitNS:       *maxwait,
+			OpCycles:        *opcycles,
+			Seed:            *seed,
+			Metrics:         obs.Default(),
+		}
+		row, svc := kvservice.Run(cfg)
+		rep, rerr := pmsan.Run(svc.TraceSource())
+		if rerr != nil {
+			fmt.Fprintf(stderr, "wserve: sanitizer: %v\n", rerr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wserve -san: shards=%d batch=%d clients=%d ops=%d p99=%.3fµs fences=%d\n",
+			row.Shards, row.Batch, row.Clients, row.Ops, row.P99Us, row.Fences)
+		fmt.Fprint(stdout, rep.String())
+		if merr := cliutil.WriteMetrics(*metrics); merr != nil {
+			fmt.Fprintf(stderr, "wserve: %v\n", merr)
+			return 1
+		}
+		if rep.Errors() > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	var ref kvservice.SweepResult
+	if *check != "" {
+		f, oerr := os.Open(*check)
+		if oerr != nil {
+			fmt.Fprintf(stderr, "wserve: %v\n", oerr)
+			return 2
+		}
+		var perr error
+		ref, perr = kvservice.ReadJSON(f)
+		f.Close()
+		if perr != nil {
+			fmt.Fprintf(stderr, "wserve: parse %s: %v\n", *check, perr)
+			return 2
+		}
+	}
+
+	sweep := kvservice.Sweep(kvservice.SweepConfig{
+		Shards:          shardList,
+		Batches:         batchList,
+		Clients:         clientList,
+		Ops:             *ops,
+		Keys:            *keys,
+		WritePct:        *write,
+		ValueLen:        *value,
+		ZipfS:           *zipfS,
+		ClientOpsPerSec: *rate,
+		MaxWaitNS:       *maxwait,
+		OpCycles:        *opcycles,
+		Seed:            *seed,
+		P99LimitUs:      *p99limit,
+	})
+
+	if *check != "" {
+		if cerr := kvservice.Compare(ref, sweep, *slack); cerr != nil {
+			fmt.Fprintf(stderr, "wserve: %v\n", cerr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wserve: %d rows within the p99 envelope of %s (slack %.2f)\n",
+			len(sweep.Rows), *check, *slack)
+		return writeMetricsAndExit(*metrics, stderr)
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			fmt.Fprintf(stderr, "wserve: %v\n", cerr)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if werr := kvservice.WriteJSON(w, sweep); werr != nil {
+		fmt.Fprintf(stderr, "wserve: %v\n", werr)
+		return 1
+	}
+	return writeMetricsAndExit(*metrics, stderr)
+}
+
+func writeMetricsAndExit(path string, stderr io.Writer) int {
+	if err := cliutil.WriteMetrics(path); err != nil {
+		fmt.Fprintf(stderr, "wserve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseIntList parses "1,8,32" into positive ints.
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad list entry %q (want positive integers, comma-separated)", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/kvservice"
+)
+
+// tiny is a grid small enough for test speed but wide enough to exercise
+// sharding, batching, and the capacity summary.
+var tiny = []string{
+	"-shards", "1,2", "-batch", "1,8", "-clients", "500,2000", "-ops", "2000",
+}
+
+func TestSweepEmitsParsableJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(tiny, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	res, err := kvservice.ReadJSON(&out)
+	if err != nil {
+		t.Fatalf("output not parsable: %v", err)
+	}
+	if len(res.Rows) != 2*2*2 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	if len(res.Capacity) != 4 {
+		t.Fatalf("capacity points = %d, want 4", len(res.Capacity))
+	}
+}
+
+func TestOutputFileAndSelfCheck(t *testing.T) {
+	ref := filepath.Join(t.TempDir(), "ref.json")
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-o", ref}, tiny...), &out, &errb); code != 0 {
+		t.Fatalf("sweep exit %d, stderr: %s", code, errb.String())
+	}
+	// The same flags must pass their own envelope with zero slack...
+	out.Reset()
+	errb.Reset()
+	if code := run(append([]string{"-check", ref, "-slack", "1.0"}, tiny...), &out, &errb); code != 0 {
+		t.Fatalf("self-check exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "within the p99 envelope") {
+		t.Fatalf("check output: %q", out.String())
+	}
+	// ...and a subset sweep must also pass (the CI smoke shape).
+	out.Reset()
+	errb.Reset()
+	sub := []string{"-check", ref, "-shards", "2", "-batch", "8", "-clients", "500", "-ops", "2000"}
+	if code := run(sub, &out, &errb); code != 0 {
+		t.Fatalf("subset check exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.json")
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-o", ref}, tiny...), &out, &errb); code != 0 {
+		t.Fatal("sweep failed")
+	}
+	// Tighten every reference p99 to an impossible value: the real sweep
+	// must now regress against it.
+	raw, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res kvservice.SweepResult
+	if res, err = kvservice.ReadJSON(bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		res.Rows[i].P99Us = 0.001
+	}
+	f, err := os.Create(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kvservice.WriteJSON(f, res); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out.Reset()
+	errb.Reset()
+	if code := run(append([]string{"-check", ref}, tiny...), &out, &errb); code != 1 {
+		t.Fatalf("regression exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "p99 regression") {
+		t.Fatalf("stderr does not name the regression: %q", errb.String())
+	}
+}
+
+func TestSanCleanTrace(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-san", "-shards", "2", "-batch", "8", "-clients", "1000", "-ops", "2000",
+		"-metrics", filepath.Join(t.TempDir(), "m.json")}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("san exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "wserve -san") {
+		t.Fatalf("san output: %q", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag exit = %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-shards", "1,zero"}, &out, &errb); code != 2 {
+		t.Fatalf("bad list exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bad list entry") {
+		t.Fatalf("stderr: %q", errb.String())
+	}
+	if code := run([]string{"-check", filepath.Join(t.TempDir(), "absent.json")}, &out, &errb); code != 2 {
+		t.Fatal("missing reference file should exit 2")
+	}
+}

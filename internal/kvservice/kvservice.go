@@ -1,0 +1,369 @@
+// Package kvservice is a sharded persistent-memory key-value service
+// front-end over the simulated machine: requests from a fleet of
+// open-loop clients are routed by key hash across N independent
+// persistence domains (one pmem device + persist runtime per shard), and
+// each shard absorbs writes in per-request batches made durable by a
+// single group-commit fence — the cross-request analogue of the epoch
+// coalescing the WHISPER paper measures within one transaction (§5.1).
+//
+// The service exists to put a cost on ordering points at the systems
+// level: with batch size 1 every put pays two fences (records, then the
+// published head); a batch of B puts still pays two, so the fence bill is
+// amortized B-fold and the capacity sweep in sim.go turns that into a
+// "clients served under a p99 limit" curve. Shard traces stay legal
+// persistency-wise — batches run inside TxBegin/TxEnd with every dirty
+// line flushed and fenced before commit — so the same run can feed the
+// pmsan sanitizer and the epoch analysis unchanged.
+package kvservice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/trace"
+	"github.com/whisper-pm/whisper/internal/workload"
+)
+
+// shardAddrStride is the slice of PM address space reserved per shard.
+// Every shard owns its own device, so addresses would otherwise collide
+// at mem.PMBase across shards; pre-bumping each device's allocator by
+// shard×stride keeps the merged service trace alias-free, which the
+// epoch dependency analysis and the sanitizer both rely on. Address
+// space is free in the simulator — pages materialize only when written.
+const shardAddrStride = 1 << 30
+
+// Config tunes a Service.
+type Config struct {
+	// Shards is the number of independent persistence domains (default 1).
+	Shards int
+	// Batch is the number of requests a shard coalesces into one group
+	// commit (default 1 — every request pays its own fences).
+	Batch int
+	// MaxWait bounds how long the first request of a partial batch may
+	// wait, in simulated ns, before the batch commits anyway (default
+	// 2000). Only the timed (simulation) path enforces it.
+	MaxWait mem.Time
+	// OpCycles is the per-request compute charge in CPU cycles, covering
+	// parsing and index work outside the PM path (default 200).
+	OpCycles mem.Cycles
+	// SegBytes is the shard log segment size (default 1 MiB).
+	SegBytes int
+	// Metrics is the registry service and shard instruments report into;
+	// nil means the process-wide obs.Default(). Simulation sweeps pass a
+	// private registry per run so rows never contaminate each other.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2000
+	}
+	if c.OpCycles <= 0 {
+		c.OpCycles = 200
+	}
+	if c.SegBytes <= 0 {
+		c.SegBytes = defaultSegBytes
+	}
+	return c
+}
+
+// request is one client operation waiting in a shard's batch. A zero
+// arrival means the caller does not want latency tracked (the concurrent
+// API, which has no simulated arrival process).
+type request struct {
+	op      workload.KVOp
+	arrival mem.Time
+}
+
+// shard is one persistence domain: a device, a runtime with one logical
+// thread, the durable log store, and the pending batch.
+type shard struct {
+	mu      sync.Mutex
+	rt      *persist.Runtime
+	th      *persist.Thread
+	st      *store
+	pending []request
+	freeAt  mem.Time // simulated time the shard finished its last batch
+	batches uint64
+	puts    uint64
+	gets    uint64
+}
+
+// Service routes requests across shards and owns the fleet-level
+// instruments.
+type Service struct {
+	cfg     Config
+	shards  []*shard
+	latency *obs.Histogram // ns from arrival to batch durability
+}
+
+// New builds a service with cfg.Shards fresh shards. Each shard's device
+// allocator is pre-bumped into its own address window (see
+// shardAddrStride) so shard traces can be merged without aliasing.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &Service{cfg: cfg}
+	s.latency = reg.Histogram("kvservice_latency_ns", obs.Labels{
+		"shards": strconv.Itoa(cfg.Shards),
+		"batch":  strconv.Itoa(cfg.Batch),
+	}, latencyBuckets()...)
+	for i := 0; i < cfg.Shards; i++ {
+		rt := persist.NewRuntime("kvservice", "native", 1, persist.Config{
+			Metrics:  reg,
+			Instance: fmt.Sprintf("shard-%d", i),
+		})
+		if i > 0 {
+			rt.Dev.Map(i * shardAddrStride)
+		}
+		th := rt.Thread(0)
+		sh := &shard{rt: rt, th: th, st: newStore(th, cfg.SegBytes)}
+		sh.freeAt = rt.Clock.Now()
+		s.shards = append(s.shards, sh)
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Runtime exposes shard i's persist runtime (tests and trace plumbing).
+func (s *Service) Runtime(i int) *persist.Runtime { return s.shards[i].rt }
+
+// ShardFor returns the shard index key routes to (FNV-1a).
+func (s *Service) ShardFor(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// commitLocked executes and commits sh's pending batch, starting at
+// simulated time start (clamped forward to the shard clock — per-shard
+// time never runs backwards). Requests are applied in arrival order
+// inside one transaction; every request in the batch completes when the
+// batch is durable, and timed requests observe that as their latency.
+// Callers hold sh.mu.
+func (s *Service) commitLocked(sh *shard, start mem.Time) {
+	if len(sh.pending) == 0 {
+		return
+	}
+	if now := sh.rt.Clock.Now(); start < now {
+		start = now
+	}
+	sh.rt.Clock.Set(start)
+	sh.th.TxBegin()
+	for _, r := range sh.pending {
+		sh.th.Compute(s.cfg.OpCycles)
+		if r.op.Kind == workload.OpRead {
+			sh.st.get(r.op.Key)
+			sh.gets++
+		} else {
+			sh.st.put(r.op.Key, r.op.Value)
+			sh.puts++
+		}
+	}
+	sh.st.commit()
+	sh.th.TxEnd()
+	end := sh.rt.Clock.Now()
+	for _, r := range sh.pending {
+		if r.arrival > 0 {
+			s.latency.Observe(uint64(end - r.arrival))
+		}
+	}
+	sh.batches++
+	sh.pending = sh.pending[:0]
+	sh.freeAt = end
+}
+
+// Put stores key=val through the concurrent API: the request joins its
+// shard's batch and the batch commits when full (or at Flush). The value
+// is copied, so callers may reuse the slice. Latency is not tracked on
+// this path — there is no arrival process to measure from.
+func (s *Service) Put(key string, val []byte) {
+	sh := s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pending = append(sh.pending, request{op: workload.KVOp{
+		Kind: workload.OpUpdate, Key: key, Value: append([]byte(nil), val...),
+	}})
+	if len(sh.pending) >= s.cfg.Batch {
+		s.commitLocked(sh, sh.freeAt)
+	}
+}
+
+// Get returns the newest value for key: a write waiting in the shard's
+// pending batch wins over the committed store (read-your-writes), then
+// the volatile index over the durable log.
+func (s *Service) Get(key string) ([]byte, bool) {
+	sh := s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.gets++
+	for i := len(sh.pending) - 1; i >= 0; i-- {
+		if r := sh.pending[i]; r.op.Kind != workload.OpRead && r.op.Key == key {
+			return append([]byte(nil), r.op.Value...), true
+		}
+	}
+	return sh.st.get(key)
+}
+
+// Flush commits every shard's pending batch, full or not.
+func (s *Service) Flush() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.commitLocked(sh, sh.freeAt)
+		sh.mu.Unlock()
+	}
+}
+
+// Crash power-fails every shard and runs recovery: pending batches are
+// lost (they were never durable), appended-but-unpublished records are
+// abandoned, and each shard's index is rebuilt by scanning its log up to
+// the durable head.
+func (s *Service) Crash(mode pmem.CrashMode, seed int64) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.pending = sh.pending[:0]
+		super := sh.st.super
+		sh.rt.Crash(mode, seed)
+		sh.st = openStore(sh.th, super, s.cfg.SegBytes)
+		sh.freeAt = sh.rt.Clock.Now()
+		sh.mu.Unlock()
+	}
+}
+
+// --- simulation-facing entry points (see sim.go) -------------------------
+
+// commitDue commits every shard whose oldest pending request has waited
+// MaxWait by simulated time now. The simulation calls it before each
+// arrival so deadline commits happen in event order.
+func (s *Service) commitDue(now mem.Time) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if len(sh.pending) > 0 {
+			if due := sh.pending[0].arrival + s.cfg.MaxWait; due <= now {
+				s.commitLocked(sh, max(due, sh.freeAt))
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// enqueue adds a timed request; a full batch commits immediately, gated
+// on the shard being free.
+func (s *Service) enqueue(op workload.KVOp, arrival mem.Time) {
+	sh := s.shards[s.ShardFor(op.Key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pending = append(sh.pending, request{op: op, arrival: arrival})
+	if len(sh.pending) >= s.cfg.Batch {
+		s.commitLocked(sh, max(arrival, sh.freeAt))
+	}
+}
+
+// drain commits all leftover partial batches at their deadlines.
+func (s *Service) drain() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if len(sh.pending) > 0 {
+			s.commitLocked(sh, max(sh.pending[0].arrival+s.cfg.MaxWait, sh.freeAt))
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// makespan is the simulated time the last shard went idle.
+func (s *Service) makespan() mem.Time {
+	var m mem.Time
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		m = max(m, sh.freeAt)
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// ServiceStats aggregates shard counters for reporting.
+type ServiceStats struct {
+	Puts    uint64
+	Gets    uint64
+	Batches uint64
+	Fences  uint64
+}
+
+// Stats sums the per-shard counters; Fences is counted from the shard
+// traces, so it reflects exactly what analysis tools will see.
+func (s *Service) Stats() ServiceStats {
+	var st ServiceStats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Puts += sh.puts
+		st.Gets += sh.gets
+		st.Batches += sh.batches
+		st.Fences += uint64(sh.rt.Trace.CountKind(trace.KFence))
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Latency exposes the service latency histogram (ns).
+func (s *Service) Latency() *obs.Histogram { return s.latency }
+
+// TraceSource merges the per-shard traces into one EventSource: events
+// sorted by simulated time (ties keep shard order), thread ID rewritten
+// to the shard index, volatile counters summed. Shard address windows
+// are disjoint, so the merged trace is a legal multi-threaded run for
+// the sanitizer and the epoch analysis.
+func (s *Service) TraceSource() trace.EventSource {
+	merged := &trace.Trace{App: "kvservice", Layer: "native", Threads: len(s.shards)}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		for _, e := range sh.rt.Trace.Events {
+			e.TID = int32(i)
+			merged.Events = append(merged.Events, e)
+		}
+		merged.VolatileLoads += sh.rt.Trace.VolatileLoads
+		merged.VolatileStores += sh.rt.Trace.VolatileStores
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(merged.Events, func(a, b int) bool {
+		return merged.Events[a].Time < merged.Events[b].Time
+	})
+	return trace.NewSliceSource(merged)
+}
+
+// latencyBuckets is the service latency layout: quarter-power-of-two
+// steps from 16 ns to ~3.5 ms, fine enough that interpolated p99/p999
+// stay within ~19% of the true value across the whole range.
+func latencyBuckets() []uint64 {
+	const n = 72
+	out := make([]uint64, 0, n)
+	last := uint64(0)
+	for i := 0; i < n; i++ {
+		b := uint64(math.Round(16 * math.Pow(2, float64(i)/4)))
+		if b <= last {
+			b = last + 1
+		}
+		out = append(out, b)
+		last = b
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package kvservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
+	"github.com/whisper-pm/whisper/internal/workload"
+)
+
+// SimConfig describes one open-loop load point: Clients independent
+// clients each issuing ClientOpsPerSec zipfian operations against the
+// service, simulated as an aggregate Poisson arrival process (the
+// superposition of many independent sources) until Ops requests have
+// been served.
+type SimConfig struct {
+	Shards          int     `json:"shards"`
+	Batch           int     `json:"batch"`
+	Clients         int     `json:"clients"`
+	ClientOpsPerSec float64 `json:"client_ops_per_sec"`
+	Ops             int     `json:"ops"`
+	Keys            uint64  `json:"keys"`
+	WritePct        int     `json:"write_pct"`
+	ValueLen        int     `json:"value_len"`
+	ZipfS           float64 `json:"zipf_s"`
+	MaxWaitNS       uint64  `json:"max_wait_ns"`
+	OpCycles        uint64  `json:"op_cycles"`
+	Seed            int64   `json:"seed"`
+
+	// Metrics, when non-nil, is shared with the service instruments; nil
+	// gives every run a private registry so repeated runs are independent
+	// and byte-identical.
+	Metrics *obs.Registry `json:"-"`
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.ClientOpsPerSec <= 0 {
+		c.ClientOpsPerSec = 1000
+	}
+	if c.Ops <= 0 {
+		c.Ops = 10000
+	}
+	if c.Keys == 0 {
+		c.Keys = 1 << 16
+	}
+	if c.WritePct <= 0 {
+		c.WritePct = 80
+	}
+	if c.ValueLen <= 0 {
+		c.ValueLen = 128
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.MaxWaitNS == 0 {
+		c.MaxWaitNS = 2000
+	}
+	if c.OpCycles == 0 {
+		c.OpCycles = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SimResult is one capacity-curve row. Latency quantiles come from the
+// service histogram (µs, rounded to 3 decimals); throughput is requests
+// over the simulated makespan.
+type SimResult struct {
+	Shards    int     `json:"shards"`
+	Batch     int     `json:"batch"`
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"`
+	Puts      uint64  `json:"puts"`
+	Batches   uint64  `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+	Fences    uint64  `json:"fences"`
+	SimNS     uint64  `json:"sim_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	P999Us    float64 `json:"p999_us"`
+}
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// Run drives one load point through a fresh service and returns the row
+// plus the service itself (callers feed its merged trace to the
+// sanitizer or the epoch analysis). Same config, same result — the whole
+// simulation runs on seeded PRNGs over the deterministic machine model.
+func Run(cfg SimConfig) (SimResult, *Service) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	svc := New(Config{
+		Shards:   cfg.Shards,
+		Batch:    cfg.Batch,
+		MaxWait:  mem.Time(cfg.MaxWaitNS),
+		OpCycles: mem.Cycles(cfg.OpCycles),
+		Metrics:  reg,
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := workload.NewZipf(rng, cfg.ZipfS, cfg.Keys)
+	meanGapNS := 1e9 / (float64(cfg.Clients) * cfg.ClientOpsPerSec)
+	var t float64
+	for i := 0; i < cfg.Ops; i++ {
+		t += rng.ExpFloat64() * meanGapNS
+		arrival := mem.Time(t)
+		if arrival == 0 {
+			arrival = 1 // zero is the "untimed" sentinel
+		}
+		svc.commitDue(arrival)
+		key := fmt.Sprintf("key%08d", zipf.Next())
+		op := workload.KVOp{Kind: workload.OpRead, Key: key}
+		if rng.Intn(100) < cfg.WritePct {
+			val := make([]byte, cfg.ValueLen)
+			for j := range val {
+				val[j] = byte('a' + (i+j)%26)
+			}
+			op = workload.KVOp{Kind: workload.OpUpdate, Key: key, Value: val}
+		}
+		svc.enqueue(op, arrival)
+	}
+	svc.drain()
+
+	stats := svc.Stats()
+	span := max(svc.makespan(), mem.Time(t))
+	res := SimResult{
+		Shards:  cfg.Shards,
+		Batch:   cfg.Batch,
+		Clients: cfg.Clients,
+		Ops:     cfg.Ops,
+		Puts:    stats.Puts,
+		Batches: stats.Batches,
+		Fences:  stats.Fences,
+		SimNS:   uint64(span),
+		P50Us:   round3(svc.latency.Quantile(0.50) / 1000),
+		P99Us:   round3(svc.latency.Quantile(0.99) / 1000),
+		P999Us:  round3(svc.latency.Quantile(0.999) / 1000),
+	}
+	if stats.Batches > 0 {
+		res.MeanBatch = round3(float64(cfg.Ops) / float64(stats.Batches))
+	}
+	if span > 0 {
+		res.OpsPerSec = round3(float64(cfg.Ops) / (float64(span) * 1e-9))
+	}
+	return res, svc
+}
+
+// Simulate is Run without the service handle.
+func Simulate(cfg SimConfig) SimResult {
+	r, _ := Run(cfg)
+	return r
+}
+
+// SweepConfig is the grid a capacity sweep covers: the cross product of
+// shard counts, batch sizes and client-fleet sizes, every cell sharing
+// the same workload parameters and seed.
+type SweepConfig struct {
+	Shards          []int   `json:"shards"`
+	Batches         []int   `json:"batches"`
+	Clients         []int   `json:"clients"`
+	Ops             int     `json:"ops"`
+	Keys            uint64  `json:"keys"`
+	WritePct        int     `json:"write_pct"`
+	ValueLen        int     `json:"value_len"`
+	ZipfS           float64 `json:"zipf_s"`
+	ClientOpsPerSec float64 `json:"client_ops_per_sec"`
+	MaxWaitNS       uint64  `json:"max_wait_ns"`
+	OpCycles        uint64  `json:"op_cycles"`
+	Seed            int64   `json:"seed"`
+	// P99LimitUs is the SLO the capacity summary is computed against.
+	P99LimitUs float64 `json:"p99_limit_us"`
+}
+
+// CapacityPoint summarizes one (shards, batch) column of the sweep: the
+// largest client fleet whose p99 stayed at or under the SLO (0 if none).
+type CapacityPoint struct {
+	Shards     int `json:"shards"`
+	Batch      int `json:"batch"`
+	MaxClients int `json:"max_clients"`
+}
+
+// SweepResult is the deterministic JSON artifact a sweep emits: the
+// grid, every row, and the capacity curve.
+type SweepResult struct {
+	Config   SweepConfig     `json:"config"`
+	Rows     []SimResult     `json:"rows"`
+	Capacity []CapacityPoint `json:"capacity"`
+}
+
+// Sweep runs the full grid. Each cell is an independent Run with its own
+// registry and a rng reseeded from Config.Seed, so a cell's result
+// depends only on its own coordinates — a subset sweep (CI smoke)
+// reproduces the exact rows of the full reference sweep.
+func Sweep(cfg SweepConfig) SweepResult {
+	out := SweepResult{Config: cfg}
+	for _, ns := range cfg.Shards {
+		for _, b := range cfg.Batches {
+			pt := CapacityPoint{Shards: ns, Batch: b}
+			for _, cl := range cfg.Clients {
+				row := Simulate(SimConfig{
+					Shards:          ns,
+					Batch:           b,
+					Clients:         cl,
+					ClientOpsPerSec: cfg.ClientOpsPerSec,
+					Ops:             cfg.Ops,
+					Keys:            cfg.Keys,
+					WritePct:        cfg.WritePct,
+					ValueLen:        cfg.ValueLen,
+					ZipfS:           cfg.ZipfS,
+					MaxWaitNS:       cfg.MaxWaitNS,
+					OpCycles:        cfg.OpCycles,
+					Seed:            cfg.Seed,
+				})
+				out.Rows = append(out.Rows, row)
+				if row.P99Us <= cfg.P99LimitUs && cl > pt.MaxClients {
+					pt.MaxClients = cl
+				}
+			}
+			out.Capacity = append(out.Capacity, pt)
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the sweep in its canonical committed form: indented,
+// struct field order, trailing newline. Equal results are byte-equal.
+func WriteJSON(w io.Writer, r SweepResult) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSON parses a sweep artifact.
+func ReadJSON(r io.Reader) (SweepResult, error) {
+	var out SweepResult
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return SweepResult{}, err
+	}
+	return out, nil
+}
+
+// Compare checks cur against the reference envelope: every row present
+// in both (matched on shards×batch×clients) must have cur p99 within
+// slack× the reference p99. It errors on any regression, and on zero
+// overlap — a sweep that shares no cells with the reference would pass
+// vacuously and mask a misconfigured smoke job.
+func Compare(ref, cur SweepResult, slack float64) error {
+	if slack <= 0 {
+		slack = 1
+	}
+	type cell struct{ sh, b, cl int }
+	refRows := make(map[cell]SimResult, len(ref.Rows))
+	for _, r := range ref.Rows {
+		refRows[cell{r.Shards, r.Batch, r.Clients}] = r
+	}
+	overlap := 0
+	var bad []string
+	for _, c := range cur.Rows {
+		r, ok := refRows[cell{c.Shards, c.Batch, c.Clients}]
+		if !ok {
+			continue
+		}
+		overlap++
+		if limit := r.P99Us * slack; c.P99Us > limit {
+			bad = append(bad, fmt.Sprintf(
+				"shards=%d batch=%d clients=%d: p99 %.3fµs > %.3fµs (ref %.3fµs × slack %.2f)",
+				c.Shards, c.Batch, c.Clients, c.P99Us, limit, r.P99Us, slack))
+		}
+	}
+	if overlap == 0 {
+		return fmt.Errorf("kvservice: no rows overlap the reference (%d ref, %d current)", len(ref.Rows), len(cur.Rows))
+	}
+	if len(bad) > 0 {
+		msg := bad[0]
+		for _, b := range bad[1:] {
+			msg += "\n" + b
+		}
+		return fmt.Errorf("kvservice: p99 regression on %d/%d rows:\n%s", len(bad), overlap, msg)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package kvservice
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallSweep() SweepConfig {
+	return SweepConfig{
+		Shards:          []int{1, 2},
+		Batches:         []int{1, 8},
+		Clients:         []int{500, 2000},
+		Ops:             3000,
+		ClientOpsPerSec: 1000,
+		P99LimitUs:      25,
+		Seed:            1,
+	}
+}
+
+// TestGroupCommitWins is the PR's headline claim: at an offered load
+// above the batch=1 capacity of one shard, group commit must deliver
+// both higher throughput and a lower p99 — the two per-request fences
+// amortize across the batch.
+func TestGroupCommitWins(t *testing.T) {
+	load := SimConfig{Shards: 1, Clients: 8000, ClientOpsPerSec: 1000, Ops: 20000}
+	load.Batch = 1
+	solo := Simulate(load)
+	load.Batch = 16
+	grouped := Simulate(load)
+
+	if grouped.OpsPerSec <= solo.OpsPerSec {
+		t.Errorf("group commit did not raise throughput: batch=16 %.0f <= batch=1 %.0f ops/s",
+			grouped.OpsPerSec, solo.OpsPerSec)
+	}
+	if grouped.P99Us >= solo.P99Us {
+		t.Errorf("group commit did not cut p99: batch=16 %.3fµs >= batch=1 %.3fµs",
+			grouped.P99Us, solo.P99Us)
+	}
+	if grouped.Fences >= solo.Fences {
+		t.Errorf("group commit did not cut fences: %d >= %d", grouped.Fences, solo.Fences)
+	}
+	if grouped.MeanBatch < 8 {
+		t.Errorf("mean batch %.2f under saturation; batching never engaged", grouped.MeanBatch)
+	}
+}
+
+// TestMoreShardsMoreCapacity: under the same saturating load, spreading
+// the fleet over more persistence domains must not lose throughput.
+func TestMoreShardsMoreCapacity(t *testing.T) {
+	load := SimConfig{Batch: 8, Clients: 16000, ClientOpsPerSec: 1000, Ops: 20000}
+	load.Shards = 1
+	one := Simulate(load)
+	load.Shards = 4
+	four := Simulate(load)
+	if four.OpsPerSec <= one.OpsPerSec {
+		t.Errorf("4 shards %.0f ops/s <= 1 shard %.0f ops/s", four.OpsPerSec, one.OpsPerSec)
+	}
+}
+
+// TestSweepDeterministic pins the capacity-curve artifact: the same
+// config must render to byte-identical JSON across 20 fresh sweeps —
+// no map iteration, wall clock, or cross-run registry state may leak in.
+func TestSweepDeterministic(t *testing.T) {
+	cfg := smallSweep()
+	var first []byte
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, Sweep(cfg)); err != nil {
+			t.Fatalf("run %d: WriteJSON: %v", i, err)
+		}
+		if i == 0 {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("run %d diverged from run 0", i)
+		}
+	}
+	if len(first) == 0 || first[len(first)-1] != '\n' {
+		t.Fatal("artifact must be non-empty and newline-terminated")
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	res := Sweep(smallSweep())
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(res.Rows) || len(back.Capacity) != len(res.Capacity) {
+		t.Fatalf("round trip lost rows: %d/%d, capacity %d/%d",
+			len(back.Rows), len(res.Rows), len(back.Capacity), len(res.Capacity))
+	}
+	for i := range res.Rows {
+		if back.Rows[i] != res.Rows[i] {
+			t.Fatalf("row %d changed: %+v vs %+v", i, back.Rows[i], res.Rows[i])
+		}
+	}
+}
+
+func TestCompareEnvelope(t *testing.T) {
+	ref := Sweep(smallSweep())
+
+	// Identical sweep passes at any slack.
+	if err := Compare(ref, Sweep(smallSweep()), 1.0); err != nil {
+		t.Fatalf("identical sweeps flagged: %v", err)
+	}
+
+	// A subset sweep still overlaps and passes (the CI smoke shape).
+	sub := smallSweep()
+	sub.Shards, sub.Batches, sub.Clients = []int{1}, []int{8}, []int{500}
+	if err := Compare(ref, Sweep(sub), 1.0); err != nil {
+		t.Fatalf("subset sweep flagged: %v", err)
+	}
+
+	// A regressed row fails and is named.
+	bad := Sweep(smallSweep())
+	bad.Rows[0].P99Us *= 10
+	err := Compare(ref, bad, 1.25)
+	if err == nil {
+		t.Fatal("10x p99 regression passed the envelope")
+	}
+	if !strings.Contains(err.Error(), "p99 regression") {
+		t.Fatalf("error does not describe the regression: %v", err)
+	}
+
+	// Zero overlap must be an error, not a vacuous pass.
+	disjoint := smallSweep()
+	disjoint.Clients = []int{123}
+	if err := Compare(ref, Sweep(disjoint), 1.25); err == nil {
+		t.Fatal("disjoint sweep compared clean")
+	}
+}
+
+// TestSimResultSanity cross-checks a row's internal accounting.
+func TestSimResultSanity(t *testing.T) {
+	r := Simulate(SimConfig{Shards: 2, Batch: 8, Clients: 1000, Ops: 5000})
+	if r.Puts == 0 || r.Puts >= uint64(r.Ops) {
+		t.Fatalf("puts = %d of %d ops at 80%% writes", r.Puts, r.Ops)
+	}
+	if r.Batches == 0 || r.MeanBatch < 1 {
+		t.Fatalf("batches = %d, mean %.2f", r.Batches, r.MeanBatch)
+	}
+	// Two fences per put-carrying batch plus one per shard format, never
+	// more (read-only batches are free).
+	if r.Fences > 2*r.Batches+2 {
+		t.Fatalf("fences = %d for %d batches", r.Fences, r.Batches)
+	}
+	if r.SimNS == 0 || r.OpsPerSec <= 0 {
+		t.Fatalf("degenerate makespan: %d ns, %.1f ops/s", r.SimNS, r.OpsPerSec)
+	}
+	if r.P50Us <= 0 || r.P99Us < r.P50Us || r.P999Us < r.P99Us {
+		t.Fatalf("quantiles out of order: p50=%.3f p99=%.3f p999=%.3f", r.P50Us, r.P99Us, r.P999Us)
+	}
+}

@@ -1,0 +1,200 @@
+package kvservice
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/persist"
+)
+
+// Per-shard durable layout: a superblock publishing a log head, and a
+// table of fixed-size log segments the head indexes into.
+//
+//	superblock   +0  head  u64  — bytes of log that are durably published
+//	             +8  nsegs u64  — segments allocated so far
+//	             +16 seg bases, u64 each
+//	segment      append-only records, padded at the tail
+//	record       [klen u32][vlen u32][key][value]
+//
+// The head is the commit point. A batch appends records (and possibly new
+// segment-table entries), makes them durable under one group-commit fence,
+// and only then publishes the new head with its own store+flush+fence.
+// Recovery trusts nothing past the durable head, so a crash between the
+// two fences loses the batch cleanly instead of exposing torn records.
+const (
+	defaultSegBytes = 1 << 20
+	maxSegs         = 512
+	recHeader       = 8
+	superHeadOff    = 0
+	superNSegsOff   = 8
+	superSegTable   = 16
+	superBytes      = superSegTable + 8*maxSegs
+
+	// padMarker in a record's klen slot means "rest of this segment is
+	// padding"; tails shorter than the marker itself are implicit padding.
+	padMarker = ^uint32(0)
+)
+
+// valRef locates a committed value on the device.
+type valRef struct {
+	addr mem.Addr
+	size int
+}
+
+// store is one shard's durable log plus its volatile index. All methods
+// run on the shard's single persist.Thread; the service layer serializes
+// access with the shard lock.
+type store struct {
+	th       *persist.Thread
+	group    *persist.Group
+	super    mem.Addr
+	segs     []mem.Addr
+	segBytes int
+	head     uint64 // volatile head: includes appends not yet published
+	index    map[string]valRef
+	vbase    mem.Addr // volatile index pages, for DRAM accounting
+}
+
+// newStore formats a fresh shard: maps the superblock and first segment
+// and persists the empty-log superblock in its own transaction.
+func newStore(th *persist.Thread, segBytes int) *store {
+	rt := th.Runtime()
+	s := &store{
+		th:       th,
+		group:    persist.NewGroup(th),
+		super:    rt.Dev.Map(superBytes),
+		segBytes: segBytes,
+		index:    make(map[string]valRef),
+		vbase:    rt.VMap(1 << 20),
+	}
+	seg0 := rt.Dev.Map(segBytes)
+	s.segs = []mem.Addr{seg0}
+	th.TxBegin()
+	th.StoreU64(s.super+superHeadOff, 0)
+	th.StoreU64(s.super+superNSegsOff, 1)
+	th.StoreU64(s.super+superSegTable, uint64(seg0))
+	th.FlushFence(s.super, superSegTable+8)
+	th.TxEnd()
+	return s
+}
+
+// openStore recovers a shard from its durable superblock after a crash:
+// it rebuilds the volatile index by scanning the log up to the published
+// head. Records appended but never head-published are dead space the next
+// append overwrites.
+func openStore(th *persist.Thread, super mem.Addr, segBytes int) *store {
+	s := &store{
+		th:       th,
+		group:    persist.NewGroup(th),
+		super:    super,
+		segBytes: segBytes,
+		index:    make(map[string]valRef),
+		vbase:    th.Runtime().VMap(1 << 20),
+	}
+	s.head = th.LoadU64(super + superHeadOff)
+	nsegs := th.LoadU64(super + superNSegsOff)
+	for i := uint64(0); i < nsegs; i++ {
+		s.segs = append(s.segs, mem.Addr(th.LoadU64(super+superSegTable+mem.Addr(8*i))))
+	}
+	sb := uint64(segBytes)
+	for off := uint64(0); off < s.head; {
+		rem := sb - off%sb
+		if rem < recHeader {
+			off += rem
+			continue
+		}
+		a := s.addr(off)
+		klen := th.LoadU32(a)
+		if klen == padMarker {
+			off += rem
+			continue
+		}
+		vlen := th.LoadU32(a + 4)
+		key := string(th.Load(a+recHeader, int(klen)))
+		th.VStore(s.vbase, 2)
+		s.index[key] = valRef{addr: a + recHeader + mem.Addr(klen), size: int(vlen)}
+		off += recHeader + uint64(klen) + uint64(vlen)
+	}
+	return s
+}
+
+// addr maps a log offset to its device address.
+func (s *store) addr(off uint64) mem.Addr {
+	sb := uint64(s.segBytes)
+	return s.segs[off/sb] + mem.Addr(off%sb)
+}
+
+// ensureSeg extends the segment table until the current head has a
+// segment, registering each new base durably (the registration rides the
+// batch's group commit, which fences before the head that needs it is
+// published).
+func (s *store) ensureSeg() {
+	for int(s.head/uint64(s.segBytes)) >= len(s.segs) {
+		if len(s.segs) == maxSegs {
+			panic(fmt.Sprintf("kvservice: shard log full (%d segments of %d bytes)", maxSegs, s.segBytes))
+		}
+		base := s.th.Runtime().Dev.Map(s.segBytes)
+		i := len(s.segs)
+		s.segs = append(s.segs, base)
+		s.th.StoreU64(s.super+superSegTable+mem.Addr(8*i), uint64(base))
+		s.th.StoreU64(s.super+superNSegsOff, uint64(len(s.segs)))
+		s.group.Add(s.super+superSegTable+mem.Addr(8*i), 8)
+		s.group.Add(s.super+superNSegsOff, 8)
+	}
+}
+
+// put appends one record and indexes it. The record is volatile until the
+// next commit; the index is updated eagerly because it is rebuilt from
+// the durable log anyway on recovery.
+func (s *store) put(key string, val []byte) {
+	need := recHeader + len(key) + len(val)
+	if need > s.segBytes {
+		panic(fmt.Sprintf("kvservice: record of %d bytes exceeds segment size %d", need, s.segBytes))
+	}
+	if rem := s.segBytes - int(s.head%uint64(s.segBytes)); need > rem {
+		if rem >= 4 {
+			a := s.addr(s.head)
+			s.th.StoreU32(a, padMarker)
+			s.group.Add(a, 4)
+		}
+		s.head += uint64(rem)
+	}
+	s.ensureSeg()
+	a := s.addr(s.head)
+	buf := make([]byte, need)
+	binary.LittleEndian.PutUint32(buf, uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(val)))
+	copy(buf[recHeader:], key)
+	copy(buf[recHeader+len(key):], val)
+	s.th.Store(a, buf)
+	s.th.UserData(len(val))
+	s.group.Add(a, need)
+	s.th.VStore(s.vbase, 2)
+	s.index[key] = valRef{addr: a + mem.Addr(recHeader+len(key)), size: len(val)}
+	s.head += uint64(need)
+}
+
+// get returns the committed value for key (records pending in the current
+// batch are already visible: put indexes eagerly).
+func (s *store) get(key string) ([]byte, bool) {
+	s.th.VLoad(s.vbase, 2)
+	r, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	return s.th.Load(r.addr, r.size), true
+}
+
+// commit publishes everything appended since the last commit: one
+// coalesced flush+fence over the batch's records and segment-table growth
+// (group commit), then the head store with its own flush+fence. With no
+// appends it is a complete no-op — a read-only batch costs no fences.
+func (s *store) commit() {
+	if s.group.Pending() == 0 {
+		return
+	}
+	s.group.Commit()
+	s.th.StoreU64(s.super+superHeadOff, s.head)
+	s.th.FlushFence(s.super+superHeadOff, 8)
+}

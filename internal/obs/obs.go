@@ -137,6 +137,61 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum.Load()
 }
 
+// Quantile returns an estimate of the q-quantile of the observed values
+// (q is clamped to [0, 1]; a nil or empty histogram returns 0).
+//
+// The estimate interpolates linearly inside the bucket holding the
+// target rank, between the bucket's lower and upper bounds (the first
+// bucket interpolates up from 0). Two biases follow from the fixed
+// buckets and are deliberate, matching Prometheus histogram_quantile:
+// the true quantile is only known to bucket resolution, and ranks that
+// land in the implicit overflow bucket report the last finite bound —
+// an underestimate. Callers that need tail quantiles must size their
+// top bound above the largest latency they care to distinguish.
+//
+// Concurrent observations may land between bucket reads; like Snapshot,
+// the result is a near-point-in-time view.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		last := h.bounds[len(h.bounds)-1]
+		if i == len(h.bounds) { // overflow bucket: clamp to the last bound
+			return float64(last)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(h.bounds[i-1])
+		}
+		hi := float64(h.bounds[i])
+		return lo + (hi-lo)*(rank-cum)/c
+	}
+	// Racing resets aside, the loop always terminates above; fall back to
+	// the largest representable value.
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram. Counts has one
 // entry per bound plus a final overflow bucket.
 type HistogramSnapshot struct {

@@ -262,3 +262,59 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(uint64(i & 1023))
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations, one per value 1..100, over decade buckets: the
+	// cumulative counts are exact, so interpolated quantiles are too.
+	uniform := func() *Histogram {
+		h := NewHistogram(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+		for v := uint64(1); v <= 100; v++ {
+			h.Observe(v)
+		}
+		return h
+	}
+	skewed := func() *Histogram {
+		h := NewHistogram(10, 100, 1000)
+		for i := 0; i < 99; i++ {
+			h.Observe(5) // first bucket
+		}
+		h.Observe(500) // third bucket
+		return h
+	}
+	overflow := func() *Histogram {
+		h := NewHistogram(10, 100)
+		for i := 0; i < 10; i++ {
+			h.Observe(1 << 20) // everything in the overflow bucket
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"nil", nil, 0.5, 0},
+		{"empty", NewHistogram(1, 2), 0.5, 0},
+		{"uniform-p50", uniform(), 0.50, 50},
+		{"uniform-p99", uniform(), 0.99, 99},
+		{"uniform-p999", uniform(), 0.999, 99.9},
+		{"uniform-p0", uniform(), 0, 0},
+		{"uniform-p1", uniform(), 1, 100},
+		{"clamp-low", uniform(), -3, 0},
+		{"clamp-high", uniform(), 7, 100},
+		{"skewed-p50", skewed(), 0.50, 10.0 * 50 / 99},
+		// Rank 100 of 100 lands in the 100..1000 bucket holding the one
+		// outlier; interpolation reports the bucket's upper bound.
+		{"skewed-p1", skewed(), 1, 1000},
+		// Overflow-bucket ranks clamp to the last finite bound — the
+		// documented underestimate.
+		{"overflow", overflow(), 0.5, 100},
+	}
+	for _, c := range cases {
+		got := c.h.Quantile(c.q)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}

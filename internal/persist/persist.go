@@ -39,6 +39,17 @@ type Config struct {
 	// of only aggregating counts. Expensive; used by cache-simulation
 	// studies.
 	TraceVolatile bool
+	// Instance distinguishes many runtimes of the same app — the sharded
+	// service runs one persistence domain per shard, all named
+	// "kvservice". When non-empty it is added as an "instance" label on
+	// the runtime's instruments; when empty the label (and the historical
+	// metric keys) are unchanged.
+	Instance string
+	// Metrics is the registry the runtime's instruments report into; nil
+	// means the process-wide obs.Default(). Sweeps that create hundreds
+	// of short-lived domains pass their own registry so per-run numbers
+	// do not accumulate across runs in the global one.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -82,14 +93,28 @@ func NewRuntime(app, layer string, nthreads int, cfg Config) *Runtime {
 		cfg:   cfg,
 		vnext: 1 << 20, // leave the low megabyte unused, like a real process
 	}
-	r.epochLines = obs.Default().Histogram("persist_epoch_lines",
-		obs.Labels{"app": app}, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	labels := func(extra ...string) obs.Labels {
+		l := obs.Labels{"app": app}
+		if cfg.Instance != "" {
+			l["instance"] = cfg.Instance
+		}
+		for i := 0; i+1 < len(extra); i += 2 {
+			l[extra[i]] = extra[i+1]
+		}
+		return l
+	}
+	r.epochLines = reg.Histogram("persist_epoch_lines",
+		labels(), 1, 2, 4, 8, 16, 32, 64, 128, 256)
 	r.threads = make([]*Thread, nthreads)
 	for i := range r.threads {
 		r.threads[i] = &Thread{
 			rt: r, id: pmem.ThreadID(i),
-			orderingPoints: obs.Default().Counter("persist_ordering_points_total",
-				obs.Labels{"app": app, "thread": fmt.Sprint(i)}),
+			orderingPoints: reg.Counter("persist_ordering_points_total",
+				labels("thread", fmt.Sprint(i))),
 		}
 	}
 	return r

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/whisper-pm/whisper/internal/mem"
+	"github.com/whisper-pm/whisper/internal/obs"
 	"github.com/whisper-pm/whisper/internal/pmem"
 	"github.com/whisper-pm/whisper/internal/trace"
 )
@@ -245,6 +246,122 @@ func TestFlushEdgeSizes(t *testing.T) {
 	}
 	if flushes != 1 {
 		t.Fatalf("flush events = %d, want 1", flushes)
+	}
+}
+
+func TestGroupCommitCoalescesToOneFence(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(512)
+	g := NewGroup(th)
+
+	// Three "requests" whose writes overlap in cache lines: two records on
+	// the same line, one straddling a boundary, one far away.
+	th.Store(a, []byte{1, 2, 3, 4})
+	g.Add(a, 4)
+	th.Store(a+8, []byte{5, 6, 7, 8})
+	g.Add(a+8, 4)
+	th.Store(a+60, []byte{9, 9, 9, 9, 9, 9, 9, 9}) // lines 0 and 1
+	g.Add(a+60, 8)
+	th.Store(a+256, []byte{1})
+	g.Add(a+256, 1)
+	if g.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", g.Pending())
+	}
+
+	g.Commit()
+
+	if g.Pending() != 0 {
+		t.Fatalf("Pending after Commit = %d, want 0", g.Pending())
+	}
+	for _, sp := range []mem.Span{{Addr: a, Size: 12}, {Addr: a + 60, Size: 8}, {Addr: a + 256, Size: 1}} {
+		if !rt.Dev.IsDurable(sp.Addr, sp.Size) {
+			t.Fatalf("span %+v not durable after Commit", sp)
+		}
+	}
+	var flushes, fences int
+	for _, e := range rt.Trace.Events {
+		switch e.Kind {
+		case trace.KFlush:
+			flushes++
+		case trace.KFence:
+			fences++
+		}
+	}
+	// Lines 0+1 coalesce into one contiguous run, line 4 stands alone:
+	// two flush events cover four requests, under a single fence.
+	if flushes != 2 {
+		t.Fatalf("flush events = %d, want 2 (coalesced)", flushes)
+	}
+	if fences != 1 {
+		t.Fatalf("fence events = %d, want 1 (group commit)", fences)
+	}
+}
+
+func TestGroupEmptyCommitIsNoOp(t *testing.T) {
+	rt := newRT(t)
+	g := NewGroup(rt.Thread(0))
+	g.Add(0, 0)  // sizes <= 0 span nothing
+	g.Add(0, -4) // and must not count as pending work
+	if g.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", g.Pending())
+	}
+	before := rt.Clock.Now()
+	g.Commit()
+	if rt.Trace.Len() != 0 {
+		t.Fatalf("empty Commit emitted %d events: %v", rt.Trace.Len(), rt.Trace.Events)
+	}
+	if rt.Clock.Now() != before {
+		t.Fatal("empty Commit advanced the clock")
+	}
+}
+
+func TestGroupReusableAcrossBatches(t *testing.T) {
+	rt := newRT(t)
+	th := rt.Thread(0)
+	a := rt.Dev.Map(256)
+	g := NewGroup(th)
+	for batch := 0; batch < 3; batch++ {
+		addr := a + mem.Addr(batch*64)
+		th.Store(addr, []byte{byte(batch)})
+		g.Add(addr, 1)
+		g.Commit()
+		if !rt.Dev.IsDurable(addr, 1) {
+			t.Fatalf("batch %d not durable", batch)
+		}
+	}
+	if got := rt.Trace.CountKind(trace.KFence); got != 3 {
+		t.Fatalf("fences = %d, want 3 (one per batch)", got)
+	}
+}
+
+func TestRuntimeInstanceMetricsIsolation(t *testing.T) {
+	// Two runtimes of the same app with distinct instances and a private
+	// registry: their ordering-point counters must not alias each other,
+	// and nothing may leak into the process-wide registry.
+	reg := obs.NewRegistry()
+	globalBefore := len(obs.Default().Snapshot().Counters)
+	rt0 := NewRuntime("svc", "native", 1, Config{Metrics: reg, Instance: "shard-0"})
+	rt1 := NewRuntime("svc", "native", 1, Config{Metrics: reg, Instance: "shard-1"})
+	a0, a1 := rt0.Dev.Map(64), rt1.Dev.Map(64)
+	rt0.Thread(0).PersistStore(a0, []byte{1})
+	rt0.Thread(0).PersistStore(a0, []byte{2})
+	rt1.Thread(0).PersistStore(a1, []byte{3})
+
+	snap := reg.Snapshot()
+	k0 := `persist_ordering_points_total{app=svc,instance=shard-0,thread=0}`
+	k1 := `persist_ordering_points_total{app=svc,instance=shard-1,thread=0}`
+	if snap.Counters[k0] != 2 || snap.Counters[k1] != 1 {
+		t.Fatalf("per-instance counters = %v", snap.Counters)
+	}
+	if got := len(obs.Default().Snapshot().Counters); got != globalBefore {
+		t.Fatalf("private-registry runtimes grew the global registry: %d -> %d", globalBefore, got)
+	}
+
+	// Empty Instance keeps the historical key shape (no instance label).
+	NewRuntime("plain", "native", 1, Config{Metrics: reg}).Thread(0).Fence()
+	if _, ok := reg.Snapshot().Counters[`persist_ordering_points_total{app=plain,thread=0}`]; !ok {
+		t.Fatalf("empty Instance changed the metric key: %v", reg.Snapshot().Counters)
 	}
 }
 

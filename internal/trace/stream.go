@@ -60,6 +60,15 @@ const (
 	// maxKind is the highest valid Kind byte; both codec versions reject
 	// anything above it.
 	maxKind = byte(KUserData)
+
+	// maxThreads bounds the header thread count trusted from either codec
+	// version, mirroring the string-length bound in readString. The count
+	// is attacker-controlled input that downstream consumers use to size
+	// per-thread state (analysis shard routing, dense per-TID tables), and
+	// the raw uvarint cast to int would go negative for values >= 2^63 on
+	// 64-bit platforms. Honest traces stay far below: the suite runs at
+	// most 8 client threads and the sharded service a few thousand.
+	maxThreads = 1 << 20
 )
 
 // Meta identifies the run a trace stream came from.
@@ -318,6 +327,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	threads, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	if threads > maxThreads {
+		return nil, fmt.Errorf("trace: unreasonable thread count %d (max %d)", threads, maxThreads)
 	}
 	rd.meta.Threads = int(threads)
 	if ver == version {

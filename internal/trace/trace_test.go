@@ -117,6 +117,44 @@ func TestDecodeAbsurdCountDoesNotPreallocate(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsAbsurdThreadCount feeds headers (both codec versions)
+// whose thread-count uvarint claims 2^40 or 2^63 threads. The count used
+// to be cast straight to int: consumers sizing per-TID state from
+// Meta.Threads would trust it, and values >= 2^63 wrapped negative on
+// 64-bit platforms. The reader must reject it like it already rejects
+// unreasonable string lengths and block counts.
+func TestDecodeRejectsAbsurdThreadCount(t *testing.T) {
+	for _, ver := range []byte{1, 2} {
+		for _, claim := range []uint64{1 << 40, 1 << 63} {
+			var raw []byte
+			raw = append(raw, magic...)
+			raw = append(raw, ver)
+			raw = append(raw, 0, 0) // empty app + layer strings
+			raw = binary.AppendUvarint(raw, claim)
+			_, err := NewReader(bytes.NewReader(raw))
+			if err == nil {
+				t.Fatalf("v%d: NewReader accepted a %d-thread header", ver, claim)
+			}
+			if !strings.Contains(err.Error(), "thread count") {
+				t.Fatalf("v%d: error %q does not name the thread count", ver, err)
+			}
+		}
+	}
+	// The bound itself must round-trip: a trace at maxThreads is honest.
+	var buf bytes.Buffer
+	ok := &Trace{App: "x", Layer: "native", Threads: maxThreads}
+	if err := Encode(&buf, ok); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode at the bound: %v", err)
+	}
+	if got.Threads != maxThreads {
+		t.Fatalf("Threads = %d, want %d", got.Threads, maxThreads)
+	}
+}
+
 // TestDecodeLargeHonestTrace checks that capping the pre-allocation did
 // not cap the trace itself: more events than maxPreallocEvents must still
 // round-trip.

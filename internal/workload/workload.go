@@ -17,10 +17,16 @@ type Zipf struct {
 	z *rand.Zipf
 }
 
-// NewZipf creates a Zipf generator over n items with skew s (>1).
+// NewZipf creates a Zipf generator over n items with skew s (>1). A
+// keyspace smaller than one item is clamped to one: rand.NewZipf takes
+// the *maximum* value, so passing n-1 for n == 0 would underflow to
+// MaxUint64 and silently generate keys over the full uint64 range.
 func NewZipf(rng *rand.Rand, s float64, n uint64) *Zipf {
 	if s <= 1 {
 		s = 1.01
+	}
+	if n < 1 {
+		n = 1
 	}
 	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1)}
 }

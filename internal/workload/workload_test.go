@@ -189,3 +189,29 @@ func TestSysbenchMix(t *testing.T) {
 		t.Errorf("write txs = %d/10000, want ~3000", writes)
 	}
 }
+
+// TestZipfDegenerateKeyspace is the regression test for NewZipf with an
+// empty keyspace: n == 0 used to flow into rand.NewZipf as n-1 ==
+// MaxUint64, silently generating keys over the entire uint64 range
+// instead of the caller's (empty) keyspace.
+func TestZipfDegenerateKeyspace(t *testing.T) {
+	for _, n := range []uint64{0, 1} {
+		z := NewZipf(rand.New(rand.NewSource(1)), 1.1, n)
+		for i := 0; i < 1000; i++ {
+			if k := z.Next(); k != 0 {
+				t.Fatalf("NewZipf(n=%d).Next() = %d, want 0", n, k)
+			}
+		}
+	}
+}
+
+// TestZipfStaysInRange pins the generator to [0, n) for small keyspaces.
+func TestZipfStaysInRange(t *testing.T) {
+	const n = 7
+	z := NewZipf(rand.New(rand.NewSource(2)), 1.2, n)
+	for i := 0; i < 10000; i++ {
+		if k := z.Next(); k >= n {
+			t.Fatalf("Next() = %d, want < %d", k, n)
+		}
+	}
+}
