@@ -17,6 +17,7 @@
 package kvservice
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -227,11 +228,56 @@ func (s *Service) Get(key string) ([]byte, bool) {
 
 // Flush commits every shard's pending batch, full or not.
 func (s *Service) Flush() {
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		s.commitLocked(sh, sh.freeAt)
-		sh.mu.Unlock()
+	for i := range s.shards {
+		s.FlushShard(i)
 	}
+}
+
+// FlushShard commits shard i's pending batch, full or not. The unlock is
+// deferred so a panic unwinding out of the commit — the scenario engine's
+// crash-storm injection aborts a group commit mid-batch exactly this way —
+// leaves the shard lock released and the service crashable.
+func (s *Service) FlushShard(i int) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.commitLocked(sh, sh.freeAt)
+}
+
+// LogHeads returns shard i's published (durable) and volatile log heads.
+// The durable head is read from the device's durable image, so between a
+// batch's record appends and its head publish volatile > durable — the
+// window where a crash must lose the whole batch. Validation probe.
+func (s *Service) LogHeads(i int) (durable, volatile uint64) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d := binary.LittleEndian.Uint64(sh.rt.Dev.Durable(sh.st.super+superHeadOff, 8))
+	return d, sh.st.head
+}
+
+// DurableLog returns the durable image of shard i's log bytes in
+// [from, to). Offsets past the allocated segments read as zeros — exactly
+// what a recovery scan would see there. Validation probe: crash tests use
+// it to observe torn (partially persisted) record tails that the
+// published head must fence off.
+func (s *Service) DurableLog(i int, from, to uint64) []byte {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]byte, 0, to-from)
+	sb := uint64(sh.st.segBytes)
+	for off := from; off < to; {
+		n := min(sb-off%sb, to-off)
+		if seg := int(off / sb); seg < len(sh.st.segs) {
+			a := sh.st.segs[seg] + mem.Addr(off%sb)
+			out = append(out, sh.rt.Dev.Durable(a, int(n))...)
+		} else {
+			out = append(out, make([]byte, n)...)
+		}
+		off += n
+	}
+	return out
 }
 
 // Crash power-fails every shard and runs recovery: pending batches are

@@ -1,0 +1,109 @@
+package scenario
+
+import "fmt"
+
+// builtins is the library of ready-made scenarios. Every entry is
+// normalized at init so Builtin(name).String() round-trips through Parse.
+//
+//   - smoke: tiny two-tenant storm for CI gates and quick checks.
+//   - storm-mixed: the acceptance storm — four apps and a sharded
+//     kvservice under skewed live traffic with a crash+recovery cycle
+//     every 40 ops (65 cycles), alternating strict and adversarial
+//     line-drop crashes and aborting a group commit mid-batch each cycle.
+//   - hotspot-rotate: pure traffic study; rotating hot windows shift two
+//     apps' working sets with no crashes, for epoch-profile comparison.
+//   - spike: think-time load spike on the kvservice beside a steady redis
+//     tenant, with periodic strict crashes.
+var builtins = []*Spec{
+	{
+		Name: "smoke",
+		Tenants: []Tenant{
+			{App: "ctree", Keys: 64, Phases: []Phase{
+				{Ops: 120, WritePct: 60, DelPct: 10, Zipf: 1.2},
+			}},
+			{App: "kvservice", Keys: 64, Shards: 2, Batch: 4, Phases: []Phase{
+				{Ops: 120, WritePct: 70, Zipf: 1.2, ValueLen: 24},
+			}},
+		},
+		Crash: CrashPlan{Every: 30, Mode: "alternate", MidBatch: true},
+	},
+	{
+		Name: "storm-mixed",
+		Tenants: []Tenant{
+			{App: "ctree", Keys: 256, Phases: []Phase{
+				{Ops: 250, WritePct: 60, DelPct: 15, Zipf: 1.2},
+				{Ops: 250, WritePct: 60, DelPct: 15, HotPct: 90, HotKeys: 32, Rotate: 60},
+			}},
+			{App: "hashmap", Keys: 256, Phases: []Phase{
+				{Ops: 250, WritePct: 50, DelPct: 20, Zipf: 1.5},
+				{Ops: 250, WritePct: 50, DelPct: 20, Zipf: 1.05},
+			}},
+			{App: "redis", Keys: 128, Phases: []Phase{
+				{Ops: 250, WritePct: 70, DelPct: 10, HotPct: 80, HotKeys: 16, Rotate: 50},
+				{Ops: 250, WritePct: 30, DelPct: 5, Zipf: 1.3},
+			}},
+			{App: "memcached", Keys: 128, Phases: []Phase{
+				{Ops: 250, WritePct: 80, DelPct: 10, Zipf: 1.1, ValueLen: 32},
+				{Ops: 250, WritePct: 40, DelPct: 10, HotPct: 85, HotKeys: 16, Rotate: 40},
+			}},
+			{App: "kvservice", Keys: 512, Shards: 2, Batch: 4, Phases: []Phase{
+				{Ops: 300, WritePct: 75, Zipf: 1.2, ValueLen: 24},
+				{Ops: 300, WritePct: 75, HotPct: 90, HotKeys: 64, Rotate: 80, ValueLen: 24},
+			}},
+		},
+		Crash: CrashPlan{Every: 40, Mode: "alternate", MidBatch: true},
+	},
+	{
+		Name: "hotspot-rotate",
+		Tenants: []Tenant{
+			{App: "ctree", Keys: 1024, Phases: []Phase{
+				{Ops: 400, WritePct: 60, DelPct: 10, HotPct: 95, HotKeys: 64, Rotate: 100},
+			}},
+			{App: "hashmap", Keys: 1024, Phases: []Phase{
+				{Ops: 400, WritePct: 60, DelPct: 10, HotPct: 95, HotKeys: 64, Rotate: 100},
+			}},
+		},
+	},
+	{
+		Name: "spike",
+		Tenants: []Tenant{
+			{App: "kvservice", Keys: 512, Shards: 4, Batch: 8, Phases: []Phase{
+				{Ops: 300, WritePct: 80, Zipf: 1.1, Think: 50, ValueLen: 32},
+				{Ops: 300, WritePct: 80, Zipf: 1.1, Think: 2000, ValueLen: 32},
+				{Ops: 300, WritePct: 80, Zipf: 1.1, Think: 50, ValueLen: 32},
+			}},
+			{App: "redis", Keys: 128, Phases: []Phase{
+				{Ops: 300, WritePct: 50, DelPct: 10, Zipf: 1.3},
+			}},
+		},
+		Crash: CrashPlan{Every: 150, Mode: "strict"},
+	},
+}
+
+func init() {
+	for _, s := range builtins {
+		s.withDefaults()
+		if err := s.Validate(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Names lists the builtin scenarios in suite order.
+func Names() []string {
+	out := make([]string, len(builtins))
+	for i, s := range builtins {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Builtin returns the named builtin scenario.
+func Builtin(name string) (*Spec, error) {
+	for _, s := range builtins {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, Names())
+}

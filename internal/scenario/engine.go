@@ -1,0 +1,476 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/whisper-pm/whisper/internal/epoch"
+	"github.com/whisper-pm/whisper/internal/obs"
+	"github.com/whisper-pm/whisper/internal/persist"
+	"github.com/whisper-pm/whisper/internal/pmem"
+	"github.com/whisper-pm/whisper/internal/pmsan"
+	"github.com/whisper-pm/whisper/internal/trace"
+	"github.com/whisper-pm/whisper/internal/workload"
+)
+
+// Config tunes one scenario run.
+type Config struct {
+	// Seed drives every random choice (schedule, keys, crash points). The
+	// same spec and seed reproduce the run byte-for-byte.
+	Seed int64
+	// Metrics is the registry scenario instruments report into; nil means
+	// the process-wide obs.Default(). Instruments never perturb the run.
+	Metrics *obs.Registry
+}
+
+// Violation is one oracle failure at a recovery point, with everything
+// needed to reproduce it: rerun the scenario at Seed and it fails at the
+// same cycle and global op index.
+type Violation struct {
+	Tenant string `json:"tenant"`
+	Cycle  int    `json:"cycle"` // -1 for the final post-traffic check
+	Op     int    `json:"op"`    // global op index at the recovery point
+	Mode   string `json:"mode"`
+	Seed   int64  `json:"seed"`
+	Err    string `json:"err"`
+}
+
+// TenantResult summarizes one tenant's traffic.
+type TenantResult struct {
+	Tenant  string `json:"tenant"`
+	App     string `json:"app"`
+	Ops     int    `json:"ops"`
+	Reads   uint64 `json:"reads"`
+	Writes  uint64 `json:"writes"`
+	Deletes uint64 `json:"deletes"`
+}
+
+// DomainResult is the trace analysis of one persistence domain: the
+// shared app runtime ("apps") or one kvservice tenant's merged shards.
+type DomainResult struct {
+	Domain       string  `json:"domain"`
+	Events       uint64  `json:"events"`
+	Fences       uint64  `json:"fences"`
+	Flushes      uint64  `json:"flushes"`
+	Epochs       int     `json:"epochs"`
+	SingletonPct float64 `json:"singleton_pct"`
+	SanErrors    int     `json:"san_errors"`
+	SanSites     int     `json:"san_sites"`
+}
+
+// Result is a scenario run's deterministic report.
+type Result struct {
+	Scenario       string         `json:"scenario"`
+	Seed           int64          `json:"seed"`
+	Ops            int            `json:"ops"`
+	CrashCycles    int            `json:"crash_cycles"`
+	MidBatchAborts int            `json:"midbatch_aborts"`
+	Checks         int            `json:"checks"` // oracle validations run
+	Violations     []Violation    `json:"violations"`
+	Tenants        []TenantResult `json:"tenants"`
+	Domains        []DomainResult `json:"domains"`
+}
+
+// Ok reports whether the run finished with a clean oracle at every
+// recovery point.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// SanErrors sums unsuppressed sanitizer error sites across domains.
+func (r *Result) SanErrors() int {
+	n := 0
+	for _, d := range r.Domains {
+		n += d.SanErrors
+	}
+	return n
+}
+
+// WriteJSON renders the report. Field order is fixed by the structs and
+// slices are schedule-ordered, so the bytes depend only on (spec, seed).
+func (r *Result) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// crashSignal aborts a kvservice group commit from inside the event hook;
+// the engine recovers it at the injection site (same pattern as
+// crashcheck's mid-operation stop).
+type crashSignal struct{}
+
+// tenantState is one tenant's traffic cursor.
+type tenantState struct {
+	spec      Tenant
+	tgt       target
+	svc       *svcTarget // non-nil for kvservice tenants
+	think     *persist.Thread
+	rng       *rand.Rand
+	phase     int
+	phaseLeft int
+	gen       interface{ Next() uint64 }
+	remaining int
+	done      int
+	opsC      *obs.Counter
+}
+
+// nextOp draws the tenant's next operation, crossing phase boundaries as
+// budgets run out.
+func (t *tenantState) nextOp() op {
+	for t.phaseLeft == 0 {
+		t.phase++
+		t.startPhase()
+	}
+	p := t.spec.Phases[t.phase]
+	t.phaseLeft--
+	o := op{key: t.gen.Next(), val: t.rng.Uint64(), vlen: p.ValueLen, think: p.Think}
+	switch r := t.rng.Intn(100); {
+	case r < p.WritePct:
+		o.kind = opWrite
+	case r < p.WritePct+p.DelPct:
+		o.kind = opDel
+	default:
+		o.kind = opRead
+	}
+	return o
+}
+
+func (t *tenantState) startPhase() {
+	p := t.spec.Phases[t.phase]
+	t.phaseLeft = p.Ops
+	if p.HotPct > 0 {
+		t.gen = workload.NewHotspot(t.rng, t.spec.Keys, p.HotKeys, p.HotPct, p.Rotate)
+	} else {
+		t.gen = workload.NewZipf(t.rng, p.Zipf, t.spec.Keys)
+	}
+}
+
+type engine struct {
+	spec    *Spec
+	cfg     Config
+	rng     *rand.Rand
+	rt      *persist.Runtime // shared runtime for app tenants; nil if none
+	tenants []*tenantState
+	res     *Result
+
+	crashesC    map[string]*obs.Counter
+	violationsC *obs.Counter
+	midbatchC   *obs.Counter
+	cycleOpsH   *obs.Histogram
+}
+
+// Run executes spec deterministically under cfg.Seed and returns the
+// report. The whole run is single-goroutine, so results are identical at
+// any GOMAXPROCS.
+func Run(spec *Spec, cfg Config) (*Result, error) {
+	norm := *spec // normalize a copy; the caller's spec is not mutated
+	norm.Tenants = append([]Tenant(nil), spec.Tenants...)
+	norm.withDefaults()
+	if err := norm.Validate(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	e := &engine{
+		spec: &norm,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		res: &Result{
+			Scenario:   norm.Name,
+			Seed:       cfg.Seed,
+			Violations: []Violation{},
+			Tenants:    []TenantResult{},
+			Domains:    []DomainResult{},
+		},
+		crashesC:    map[string]*obs.Counter{},
+		violationsC: reg.Counter("scenario_violations_total", obs.Labels{"scenario": norm.Name}),
+		midbatchC:   reg.Counter("scenario_midbatch_aborts_total", obs.Labels{"scenario": norm.Name}),
+		cycleOpsH: reg.Histogram("scenario_cycle_ops", obs.Labels{"scenario": norm.Name},
+			obs.ExpBuckets(1, 2, 14)...),
+	}
+	for _, m := range []string{"strict", "adversarial"} {
+		e.crashesC[m] = reg.Counter("scenario_crashes_total", obs.Labels{"scenario": norm.Name, "mode": m})
+	}
+	e.build(reg)
+	e.drive()
+	e.finish()
+	e.analyze()
+	return e.res, nil
+}
+
+// build instantiates tenants: app tenants share one runtime (one logical
+// thread each), kvservice tenants own their sharded domains.
+func (e *engine) build(reg *obs.Registry) {
+	napps := 0
+	for _, t := range e.spec.Tenants {
+		if t.App != "kvservice" {
+			napps++
+		}
+	}
+	if napps > 0 {
+		e.rt = persist.NewRuntime("scenario", "mixed", napps, persist.Config{
+			Metrics:  reg,
+			Instance: e.spec.Name,
+		})
+	}
+	seen := map[string]int{}
+	total := map[string]int{}
+	for _, t := range e.spec.Tenants {
+		total[t.App]++
+	}
+	tid := 0
+	for _, spec := range e.spec.Tenants {
+		label := spec.App
+		if total[spec.App] > 1 {
+			label = fmt.Sprintf("%s-%d", spec.App, seen[spec.App])
+		}
+		seen[spec.App]++
+		ts := &tenantState{
+			spec:      spec,
+			rng:       rand.New(rand.NewSource(e.cfg.Seed*1315423911 + int64(len(e.tenants))*2654435761 + 97)),
+			phase:     -1,
+			remaining: 0,
+			opsC:      reg.Counter("scenario_ops_total", obs.Labels{"scenario": e.spec.Name, "tenant": label}),
+		}
+		for _, p := range spec.Phases {
+			ts.remaining += p.Ops
+		}
+		switch spec.App {
+		case "kvservice":
+			svc := newSvcTarget(label, spec, reg)
+			ts.tgt, ts.svc = svc, svc
+			ts.think = svc.svc.Runtime(0).Thread(0)
+		case "ctree", "hashmap":
+			ts.tgt = newU64Target(label, spec.App, e.rt, tid)
+			ts.think = e.rt.Thread(tid)
+			tid++
+		default:
+			ts.tgt = newStrTarget(label, spec.App, e.rt, tid)
+			ts.think = e.rt.Thread(tid)
+			tid++
+		}
+		e.tenants = append(e.tenants, ts)
+	}
+}
+
+// drive runs the interleaved schedule: each step picks a tenant weighted
+// by remaining budget, applies one op, and fires the crash plan on its
+// cadence — all from one goroutine, all off one seeded stream.
+func (e *engine) drive() {
+	total := 0
+	for _, t := range e.tenants {
+		total += t.remaining
+	}
+	sinceCrash := 0
+	globalOp := 0
+	for total > 0 {
+		pick := e.rng.Intn(total)
+		var t *tenantState
+		for _, c := range e.tenants {
+			if pick < c.remaining {
+				t = c
+				break
+			}
+			pick -= c.remaining
+		}
+		o := t.nextOp()
+		computeOn(t.think, o.think)
+		t.tgt.apply(o)
+		t.remaining--
+		t.done++
+		t.opsC.Inc()
+		total--
+		globalOp++
+		e.res.Ops++
+		sinceCrash++
+		if e.spec.Crash.Every > 0 && sinceCrash >= e.spec.Crash.Every && total > 0 {
+			e.crashCycle(globalOp)
+			sinceCrash = 0
+		}
+	}
+	if e.spec.Crash.Every > 0 {
+		e.cycleOpsH.Observe(uint64(sinceCrash))
+	}
+}
+
+// crashCycle power-fails every persistence domain under whatever traffic
+// is in flight, reboots, and validates every tenant against its oracle.
+func (e *engine) crashCycle(globalOp int) {
+	cycle := e.res.CrashCycles
+	mode := e.spec.Crash.Mode
+	if mode == "alternate" {
+		if cycle%2 == 0 {
+			mode = "strict"
+		} else {
+			mode = "adversarial"
+		}
+	}
+	devMode := pmem.Strict
+	if mode == "adversarial" {
+		devMode = pmem.Adversarial
+	}
+	seed := e.cfg.Seed*1_000_003 + int64(cycle)*8191 + 29
+
+	// Abort one group commit mid-batch per service tenant: the crash then
+	// lands between a batch's record appends and its head publish.
+	if e.spec.Crash.MidBatch {
+		for _, t := range e.tenants {
+			if t.svc != nil {
+				e.injectMidCommit(t.svc)
+			}
+		}
+	}
+	if e.rt != nil {
+		e.rt.Crash(devMode, seed)
+	}
+	svcIdx := 0
+	for _, t := range e.tenants {
+		if t.svc != nil {
+			svcIdx++
+			t.svc.svc.Crash(devMode, seed+int64(svcIdx))
+		}
+		t.tgt.crashed()
+	}
+	for _, t := range e.tenants {
+		t.tgt.recoverState()
+	}
+	for _, t := range e.tenants {
+		e.res.Checks++
+		if err := t.tgt.check(); err != nil {
+			e.violationsC.Inc()
+			e.res.Violations = append(e.res.Violations, Violation{
+				Tenant: t.tgt.label(), Cycle: cycle, Op: globalOp,
+				Mode: mode, Seed: e.cfg.Seed, Err: err.Error(),
+			})
+		}
+	}
+	e.crashesC[mode].Inc()
+	e.cycleOpsH.Observe(uint64(e.spec.Crash.Every))
+	e.res.CrashCycles++
+}
+
+// injectMidCommit forces an early commit of t's first pending batch and
+// aborts it partway through the PM instruction stream: the countdown is
+// bounded by twice the batch's put count, which is always reached before
+// the group's coalesced flush — so the head is never published and the
+// batch must vanish at the crash.
+func (e *engine) injectMidCommit(t *svcTarget) {
+	idx, n := t.pendingShard()
+	if idx < 0 {
+		return
+	}
+	rt := t.svc.Runtime(idx)
+	countdown := 1 + e.rng.Intn(2*n)
+	panicked := false
+	rt.SetEventHook(func(trace.Event) {
+		countdown--
+		if countdown == 0 {
+			panic(crashSignal{})
+		}
+	})
+	func() {
+		defer func() {
+			rt.SetEventHook(nil)
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); !ok {
+					panic(r)
+				}
+				panicked = true
+			}
+		}()
+		t.svc.FlushShard(idx)
+	}()
+	if panicked {
+		e.res.MidBatchAborts++
+		e.midbatchC.Inc()
+	} else {
+		// The commit outran the countdown; the batch is durable after all.
+		t.commitShard(idx)
+	}
+}
+
+// finish drains service batches and runs the final oracle sweep.
+func (e *engine) finish() {
+	for _, t := range e.tenants {
+		if t.svc != nil {
+			t.svc.svc.Flush()
+			for sh := range t.svc.pending {
+				t.svc.commitShard(sh)
+			}
+		}
+	}
+	for _, t := range e.tenants {
+		e.res.Checks++
+		if err := t.tgt.check(); err != nil {
+			e.violationsC.Inc()
+			e.res.Violations = append(e.res.Violations, Violation{
+				Tenant: t.tgt.label(), Cycle: -1, Op: e.res.Ops,
+				Mode: "final", Seed: e.cfg.Seed, Err: err.Error(),
+			})
+		}
+		r, w, d := t.tgt.counts()
+		e.res.Tenants = append(e.res.Tenants, TenantResult{
+			Tenant: t.tgt.label(), App: t.spec.App, Ops: t.done,
+			Reads: r, Writes: w, Deletes: d,
+		})
+	}
+}
+
+// analyze runs the epoch analysis and the durability sanitizer over every
+// persistence domain. App tenants share one trace; each kvservice tenant
+// contributes its merged shard trace (shard address windows are disjoint,
+// but domains overlap each other, so they are analyzed separately).
+func (e *engine) analyze() {
+	if e.rt != nil {
+		e.res.Domains = append(e.res.Domains, domainResult("apps", e.rt.Trace))
+	}
+	for _, t := range e.tenants {
+		if t.svc != nil {
+			e.res.Domains = append(e.res.Domains,
+				domainResult(t.tgt.label(), materialize(t.svc.svc.TraceSource())))
+		}
+	}
+}
+
+// materialize drains an EventSource back into an in-memory trace.
+func materialize(src trace.EventSource) *trace.Trace {
+	m := src.Meta()
+	tr := &trace.Trace{App: m.App, Layer: m.Layer, Threads: m.Threads}
+	for {
+		ev, err := src.Next()
+		if err != nil {
+			break
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	tr.VolatileLoads, tr.VolatileStores = src.Volatile()
+	return tr
+}
+
+func domainResult(name string, tr *trace.Trace) DomainResult {
+	d := DomainResult{
+		Domain:  name,
+		Events:  uint64(len(tr.Events)),
+		Fences:  uint64(tr.CountKind(trace.KFence)),
+		Flushes: uint64(tr.CountKind(trace.KFlush)),
+	}
+	an := epoch.Analyze(tr)
+	d.Epochs = an.TotalEpochs
+	if an.TotalEpochs > 0 {
+		d.SingletonPct = math.Round(1000*float64(an.Singletons)/float64(an.TotalEpochs)) / 10
+	}
+	rep, err := pmsan.Run(trace.NewSliceSource(tr))
+	if err != nil {
+		panic("scenario: in-memory trace stream failed: " + err.Error())
+	}
+	d.SanErrors = rep.Errors()
+	d.SanSites = len(rep.Violations)
+	return d
+}

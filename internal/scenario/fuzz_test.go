@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// genCursor consumes fuzz bytes the way pmodel's genProgram does: wrap
+// around instead of running dry, so every input decodes to something.
+type genCursor struct {
+	data []byte
+	i    int
+}
+
+func (c *genCursor) b() byte {
+	if len(c.data) == 0 {
+		return 0
+	}
+	v := c.data[c.i%len(c.data)]
+	c.i++
+	return v
+}
+
+var crashModes = []string{"strict", "adversarial", "alternate"}
+
+// genSpec is a total decoder from fuzz bytes into a valid, normalized
+// Spec: any byte string yields a spec that Validate accepts, so the
+// fuzzer explores the spec space rather than the error paths.
+func genSpec(data []byte) *Spec {
+	c := &genCursor{data: data}
+	s := &Spec{Name: fmt.Sprintf("fz-%d", c.b())}
+	for nt := int(c.b())%3 + 1; nt > 0; nt-- {
+		t := Tenant{
+			App:  tenantApps[int(c.b())%len(tenantApps)],
+			Keys: uint64(c.b())*2 + 1,
+		}
+		if t.App == "kvservice" {
+			t.Shards = int(c.b())%4 + 1
+			t.Batch = int(c.b())%8 + 1
+		}
+		for np := int(c.b())%3 + 1; np > 0; np-- {
+			p := Phase{Ops: int(c.b())%200 + 1}
+			p.WritePct = int(c.b()) % 101
+			p.DelPct = int(c.b()) % (101 - p.WritePct)
+			if c.b()%2 == 0 {
+				p.Zipf = 1 + float64(c.b())/64
+			} else {
+				p.HotPct = int(c.b())%100 + 1
+				p.HotKeys = uint64(c.b())%t.Keys + 1
+				p.Rotate = int(c.b()) % 100
+			}
+			p.ValueLen = int(c.b())%64 + 1
+			p.Think = int(c.b()) % 200
+			t.Phases = append(t.Phases, p)
+		}
+		s.Tenants = append(s.Tenants, t)
+	}
+	if c.b()%2 == 0 {
+		s.Crash.Every = int(c.b())%100 + 1
+		s.Crash.Mode = crashModes[int(c.b())%3]
+		s.Crash.MidBatch = c.b()%2 == 0
+	}
+	s.withDefaults()
+	return s
+}
+
+// FuzzSpec fuzzes the spec parser from both ends. The raw bytes are fed
+// straight to Parse — it must never panic, and anything it accepts must
+// survive a String/Parse round trip in canonical form. The same bytes
+// also drive genSpec, pinning that every generated spec validates and
+// that Parse(String()) reproduces it field-for-field.
+func FuzzSpec(f *testing.F) {
+	for _, s := range builtins {
+		f.Add([]byte(s.String()))
+	}
+	f.Add([]byte("scenario x\ntenant ctree keys=8\n  phase ops=1\n"))
+	f.Add([]byte("crash every=1 midbatch\n"))
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 250, 13, 80, 7, 99, 4, 128, 64, 3, 9})
+	f.Add([]byte{4, 2, 4, 1, 3, 200, 50, 25, 1, 130, 16, 0, 2, 77, 1, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Raw path: Parse is total over strings (error or valid spec,
+		// never a panic), and accepted specs are canonical.
+		if spec, err := Parse(string(data)); err == nil {
+			again, err := Parse(spec.String())
+			if err != nil {
+				t.Fatalf("accepted spec does not re-parse: %v\n%s", err, spec.String())
+			}
+			// Compare renderings, not structs: NaN skews are legal inputs
+			// but never DeepEqual themselves.
+			if spec.String() != again.String() {
+				t.Fatalf("canonical form unstable:\n%s\n---\n%s", spec.String(), again.String())
+			}
+		}
+
+		// Generated path: every byte string decodes to a runnable spec.
+		g := genSpec(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("genSpec produced an invalid spec: %v\n%+v", err, g)
+		}
+		back, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("generated spec does not parse: %v\n%s", err, g.String())
+		}
+		if !reflect.DeepEqual(g, back) {
+			t.Fatalf("generated spec round trip diverged:\n%s\n---\n%s", g.String(), back.String())
+		}
+	})
+}

@@ -34,6 +34,69 @@ func NewZipf(rng *rand.Rand, s float64, n uint64) *Zipf {
 // Next returns the next key index.
 func (z *Zipf) Next() uint64 { return z.z.Uint64() }
 
+// Hotspot generates key indexes in [0, keys) where hotPct percent of
+// draws land in a contiguous window of hotKeys keys and the rest are
+// uniform over the cold complement. Every rotate draws the window slides
+// forward by its own size (mod keys), modelling the phase changes the
+// scenario engine uses to shift an app's working set under load.
+type Hotspot struct {
+	rng     *rand.Rand
+	keys    uint64
+	hotKeys uint64
+	hotPct  int
+	rotate  int
+	draws   int
+	base    uint64
+}
+
+// NewHotspot creates a hotspot generator. Degenerate parameters are
+// clamped: keys and hotKeys to at least 1, hotKeys to at most keys,
+// hotPct into [0, 100]. rotate <= 0 disables rotation.
+func NewHotspot(rng *rand.Rand, keys, hotKeys uint64, hotPct, rotate int) *Hotspot {
+	if keys < 1 {
+		keys = 1
+	}
+	if hotKeys < 1 {
+		hotKeys = 1
+	}
+	if hotKeys > keys {
+		hotKeys = keys
+	}
+	if hotPct < 0 {
+		hotPct = 0
+	}
+	if hotPct > 100 {
+		hotPct = 100
+	}
+	return &Hotspot{rng: rng, keys: keys, hotKeys: hotKeys, hotPct: hotPct, rotate: rotate}
+}
+
+// HotBase returns the start of the current hot window.
+func (h *Hotspot) HotBase() uint64 { return h.base }
+
+// InHotSet reports whether key falls in the current hot window.
+func (h *Hotspot) InHotSet(key uint64) bool {
+	return (key+h.keys-h.base)%h.keys < h.hotKeys
+}
+
+// Next returns the next key index, advancing the hot window first when a
+// rotation boundary is crossed.
+func (h *Hotspot) Next() uint64 {
+	if h.rotate > 0 && h.draws > 0 && h.draws%h.rotate == 0 {
+		h.base = (h.base + h.hotKeys) % h.keys
+	}
+	h.draws++
+	if h.rng.Intn(100) < h.hotPct {
+		return (h.base + h.rng.Uint64()%h.hotKeys) % h.keys
+	}
+	cold := h.keys - h.hotKeys
+	if cold == 0 {
+		return h.rng.Uint64() % h.keys
+	}
+	// Uniform over the cold keys: offset past the hot window and wrap.
+	return (h.base + h.hotKeys + h.rng.Uint64()%cold) % h.keys
+}
+
 // OpKind is a generic key-value operation type.
 type OpKind int
 

@@ -215,3 +215,104 @@ func TestZipfStaysInRange(t *testing.T) {
 		}
 	}
 }
+
+// TestHotspotFractionUnderRotation drives the generator across many
+// rotation phases and checks that the hot-key fraction stays within
+// tolerance of hotPct in every phase — rotation must move the hot set,
+// not dilute it.
+func TestHotspotFractionUnderRotation(t *testing.T) {
+	const (
+		keys    = 10000
+		hotKeys = 100
+		hotPct  = 90
+		rotate  = 5000
+		phases  = 8
+	)
+	h := NewHotspot(rand.New(rand.NewSource(21)), keys, hotKeys, hotPct, rotate)
+	bases := make(map[uint64]bool)
+	for p := 0; p < phases; p++ {
+		hot := 0
+		for i := 0; i < rotate; i++ {
+			if h.InHotSet(h.Next()) {
+				hot++
+			}
+		}
+		frac := 100 * float64(hot) / rotate
+		if frac < hotPct-2 || frac > hotPct+2 {
+			t.Errorf("phase %d: hot fraction = %.1f%%, want %d%%±2", p, frac, hotPct)
+		}
+		bases[h.HotBase()] = true
+	}
+	if len(bases) != phases {
+		t.Errorf("saw %d distinct hot windows over %d phases, want %d", len(bases), phases, phases)
+	}
+}
+
+// TestHotspotRotationAdvancesWindow pins the rotation schedule: the base
+// advances by exactly hotKeys every rotate draws, wrapping mod keys.
+func TestHotspotRotationAdvancesWindow(t *testing.T) {
+	const (
+		keys    = 250
+		hotKeys = 100
+		rotate  = 10
+	)
+	h := NewHotspot(rand.New(rand.NewSource(3)), keys, hotKeys, 100, rotate)
+	for p := 0; p < 7; p++ {
+		for i := 0; i < rotate; i++ {
+			k := h.Next()
+			if !h.InHotSet(k) {
+				t.Fatalf("hotPct=100 drew cold key %d (base %d)", k, h.HotBase())
+			}
+		}
+		// The window slides on the first draw after each rotate boundary,
+		// so after phase p's draws the base has advanced p times.
+		if got, want := h.HotBase(), (uint64(p)*hotKeys)%keys; got != want {
+			t.Fatalf("after phase %d: base = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestHotspotColdDrawsAvoidWindow checks the complement side: with
+// hotPct=0 no draw may land in the hot window (when a cold set exists).
+func TestHotspotColdDrawsAvoidWindow(t *testing.T) {
+	h := NewHotspot(rand.New(rand.NewSource(5)), 1000, 50, 0, 0)
+	for i := 0; i < 20000; i++ {
+		k := h.Next()
+		if k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if h.InHotSet(k) {
+			t.Fatalf("hotPct=0 drew hot key %d", k)
+		}
+	}
+}
+
+// TestZipfThetaMonotone sweeps the zipf exponent and checks that the
+// probability mass captured by the top keys is monotone non-decreasing in
+// skew — the property phase specs rely on when they ramp theta.
+func TestZipfThetaMonotone(t *testing.T) {
+	const (
+		n     = 10000
+		draws = 200000
+		topK  = 10
+	)
+	thetas := []float64{1.05, 1.2, 1.5, 2.0, 3.0}
+	var prev float64 = -1
+	for _, s := range thetas {
+		z := NewZipf(rand.New(rand.NewSource(33)), s, n)
+		top := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() < topK {
+				top++
+			}
+		}
+		mass := float64(top) / draws
+		if mass < prev {
+			t.Errorf("theta %.2f: top-%d mass %.4f < previous %.4f (not monotone)", s, topK, mass, prev)
+		}
+		prev = mass
+	}
+	if prev < 0.9 {
+		t.Errorf("theta 3.0: top-%d mass = %.4f, want heavy concentration", topK, prev)
+	}
+}

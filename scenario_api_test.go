@@ -1,0 +1,79 @@
+package whisper
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestScenarioPublicAPI smoke-tests the exported scenario surface: the
+// builtin library is discoverable, a crash-storm run comes back clean,
+// and the report renders deterministic JSON.
+func TestScenarioPublicAPI(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 4 {
+		t.Fatalf("builtin scenarios = %v, want at least 4", names)
+	}
+	rep, err := RunScenario("smoke", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("smoke violations: %v", rep.Violations())
+	}
+	if rep.Ops() == 0 || rep.CrashCycles() == 0 {
+		t.Fatalf("ops=%d cycles=%d", rep.Ops(), rep.CrashCycles())
+	}
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunScenario("smoke", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed scenario reports differ through the public API")
+	}
+
+	if _, err := RunScenario("no-such", 1); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}
+
+func TestScenarioSpecPublicAPI(t *testing.T) {
+	rep, err := RunScenarioSpec(
+		"scenario api\ntenant memcached keys=64\n  phase ops=30 writes=60\n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() || rep.Ops() != 30 {
+		t.Fatalf("ok=%v ops=%d", rep.Ok(), rep.Ops())
+	}
+	if rep.SanErrors() != 0 {
+		t.Fatalf("sanitizer errors: %d", rep.SanErrors())
+	}
+	if _, err := RunScenarioSpec("tenant nope\n  phase ops=1\n", 1); err == nil {
+		t.Fatal("invalid spec did not error")
+	}
+}
+
+func TestPrimitivesPublicAPI(t *testing.T) {
+	if got := PrimitiveNames(); len(got) != 4 {
+		t.Fatalf("primitive classes = %v", got)
+	}
+	rows, err := RunPrimitives(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FencesPerOp < 1 {
+			t.Errorf("%s: fences/op = %v, want >= 1 (every durable update fences)", r.Primitive, r.FencesPerOp)
+		}
+	}
+}
