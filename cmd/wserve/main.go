@@ -14,6 +14,11 @@
 //	wserve -san                      # run the largest cell and stream its
 //	                                 # merged trace through the durability
 //	                                 # sanitizer (exit 1 on any error site)
+//	wserve -churn                    # compaction-churn gate: a sustained
+//	                                 # overwrite workload that must hold the
+//	                                 # mapped segment count and space
+//	                                 # amplification bounded, with a clean
+//	                                 # sanitizer pass (exit 1 otherwise)
 //	wserve -metrics m.json           # dump process metrics on exit (only
 //	                                 # the -san run reports into them; sweep
 //	                                 # cells use private registries so rows
@@ -29,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -69,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		check    = fs.String("check", "", "reference sweep JSON to gate p99 against")
 		slack    = fs.Float64("slack", 1.25, "allowed p99 multiplier over the reference")
 		san      = fs.Bool("san", false, "sanitize the merged trace of the largest cell")
+		churn    = fs.Bool("churn", false, "run the compaction-churn gate instead of the sweep")
 		metrics  = fs.String("metrics", "", "write metrics snapshot JSON to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +89,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "wserve: %v\n", err)
 			return 2
 		}
+	}
+
+	if *churn {
+		// The sweep's -ops default is too small to overflow the segment
+		// table; let Churn pick its own overflow-sized default unless the
+		// user set -ops explicitly.
+		churnOps := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "ops" {
+				churnOps = *ops
+			}
+		})
+		res, svc := kvservice.Churn(churnOps, *seed)
+		buf, merr := json.MarshalIndent(res, "", "  ")
+		if merr != nil {
+			fmt.Fprintf(stderr, "wserve: %v\n", merr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s\n", buf)
+		rep, rerr := pmsan.Run(svc.TraceSource())
+		if rerr != nil {
+			fmt.Fprintf(stderr, "wserve: sanitizer: %v\n", rerr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wserve -churn: segments=%d/%d space_amp=%.3f/%.1f compactions=%d rejects=%d san_errors=%d\n",
+			res.Segments, res.SegLimit, res.SpaceAmp, res.AmpLimit, res.Compactions, res.Rejects, rep.Errors())
+		if !res.Ok {
+			fmt.Fprintln(stderr, "wserve: churn gate failed (unbounded space or rejected requests)")
+			return 1
+		}
+		if rep.Errors() > 0 {
+			fmt.Fprint(stderr, rep.String())
+			return 1
+		}
+		return writeMetricsAndExit(*metrics, stderr)
 	}
 
 	if *san {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,6 +106,75 @@ func TestSanCleanTrace(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "wserve -san") {
 		t.Fatalf("san output: %q", out.String())
+	}
+}
+
+func TestChurnGate(t *testing.T) {
+	var out, errb bytes.Buffer
+	// 6000 ops keeps the test fast while still forcing many compaction
+	// passes on the gate's 8 KiB segments.
+	args := []string{"-churn", "-ops", "6000", "-seed", "3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("churn exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var res kvservice.ChurnResult
+	dec := json.NewDecoder(&out)
+	if err := dec.Decode(&res); err != nil {
+		t.Fatalf("churn output not parsable: %v", err)
+	}
+	if !res.Ok || res.Compactions == 0 || res.Rejects != 0 {
+		t.Fatalf("churn verdict: %+v", res)
+	}
+	if res.Segments > res.SegLimit || res.SpaceAmp > res.AmpLimit {
+		t.Fatalf("space not bounded: %+v", res)
+	}
+	rest, _ := io.ReadAll(dec.Buffered())
+	if !strings.Contains(string(rest), "san_errors=0") {
+		t.Fatalf("summary line missing clean sanitizer: %q", rest)
+	}
+}
+
+// TestCheckToleratesOldReference pins forward compatibility of the
+// envelope gate: a reference artifact written before the compaction
+// columns existed (no compactions/segments/space_amp fields) must still
+// be accepted — the gate compares p99 only, never the added fields.
+func TestCheckToleratesOldReference(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.json")
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"-o", ref}, tiny...), &out, &errb); code != 0 {
+		t.Fatal("sweep failed")
+	}
+	raw, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the new columns from every row, as an old artifact would be.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := doc["rows"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("no rows in artifact")
+	}
+	for _, r := range rows {
+		row := r.(map[string]any)
+		for _, k := range []string{"compactions", "segments", "live_bytes", "log_bytes", "space_amp", "deletes"} {
+			delete(row, k)
+		}
+	}
+	stripped, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ref, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(append([]string{"-check", ref}, tiny...), &out, &errb); code != 0 {
+		t.Fatalf("old reference rejected: exit %d, stderr: %s", code, errb.String())
 	}
 }
 

@@ -22,7 +22,7 @@ func TestList(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 	for _, want := range []string{"smoke", "storm-mixed", "hotspot-rotate", "spike",
-		"inplace-flush", "cow-publish", "log-append", "pmwcas"} {
+		"compact-churn", "inplace-flush", "cow-publish", "log-append", "pmwcas"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-list missing %q:\n%s", want, out)
 		}

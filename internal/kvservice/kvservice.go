@@ -56,6 +56,12 @@ type Config struct {
 	OpCycles mem.Cycles
 	// SegBytes is the shard log segment size (default 1 MiB).
 	SegBytes int
+	// CompactFrac is the live-fraction threshold for compaction: after a
+	// batch commits, sealed segments whose live bytes are at or below
+	// CompactFrac×SegBytes are copy-forward compacted and retired, which
+	// bounds steady-state space amplification near 1/CompactFrac. Default
+	// 0.5; negative disables compaction.
+	CompactFrac float64
 	// Metrics is the registry service and shard instruments report into;
 	// nil means the process-wide obs.Default(). Simulation sweeps pass a
 	// private registry per run so rows never contaminate each other.
@@ -77,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SegBytes <= 0 {
 		c.SegBytes = defaultSegBytes
+	}
+	if c.CompactFrac == 0 {
+		c.CompactFrac = 0.5
 	}
 	return c
 }
@@ -101,6 +110,13 @@ type shard struct {
 	batches uint64
 	puts    uint64
 	gets    uint64
+	dels    uint64
+	rejects uint64
+	// last reported space figures, so gauge updates are deltas computed
+	// under this shard's lock alone (no cross-shard reads).
+	lastLive int64
+	lastDead int64
+	lastSegs int64
 }
 
 // Service routes requests across shards and owns the fleet-level
@@ -109,6 +125,13 @@ type Service struct {
 	cfg     Config
 	shards  []*shard
 	latency *obs.Histogram // ns from arrival to batch durability
+
+	compactionsC *obs.Counter // compaction passes completed
+	copiedC      *obs.Counter // record bytes copied forward
+	rejectsC     *obs.Counter // requests degraded (oversized, shard full)
+	liveG        *obs.Gauge   // live record bytes across shards
+	deadG        *obs.Gauge   // dead (reclaimable) log bytes across shards
+	segsG        *obs.Gauge   // mapped log segments across shards
 }
 
 // New builds a service with cfg.Shards fresh shards. Each shard's device
@@ -121,10 +144,17 @@ func New(cfg Config) *Service {
 		reg = obs.Default()
 	}
 	s := &Service{cfg: cfg}
-	s.latency = reg.Histogram("kvservice_latency_ns", obs.Labels{
+	lbl := obs.Labels{
 		"shards": strconv.Itoa(cfg.Shards),
 		"batch":  strconv.Itoa(cfg.Batch),
-	}, latencyBuckets()...)
+	}
+	s.latency = reg.Histogram("kvservice_latency_ns", lbl, latencyBuckets()...)
+	s.compactionsC = reg.Counter("kvservice_compaction_runs_total", lbl)
+	s.copiedC = reg.Counter("kvservice_compaction_copied_bytes_total", lbl)
+	s.rejectsC = reg.Counter("kvservice_rejects_total", lbl)
+	s.liveG = reg.Gauge("kvservice_live_bytes", lbl)
+	s.deadG = reg.Gauge("kvservice_dead_bytes", lbl)
+	s.segsG = reg.Gauge("kvservice_log_segments", lbl)
 	for i := 0; i < cfg.Shards; i++ {
 		rt := persist.NewRuntime("kvservice", "native", 1, persist.Config{
 			Metrics:  reg,
@@ -173,15 +203,36 @@ func (s *Service) commitLocked(sh *shard, start mem.Time) {
 	sh.th.TxBegin()
 	for _, r := range sh.pending {
 		sh.th.Compute(s.cfg.OpCycles)
-		if r.op.Kind == workload.OpRead {
+		switch r.op.Kind {
+		case workload.OpRead:
 			sh.st.get(r.op.Key)
 			sh.gets++
-		} else {
-			sh.st.put(r.op.Key, r.op.Value)
-			sh.puts++
+		case workload.OpDelete:
+			if _, err := sh.st.del(r.op.Key); err != nil {
+				sh.rejects++
+				s.rejectsC.Inc()
+			} else {
+				sh.dels++
+			}
+		default:
+			if err := sh.st.put(r.op.Key, r.op.Value); err != nil {
+				sh.rejects++
+				s.rejectsC.Inc()
+			} else {
+				sh.puts++
+			}
 		}
 	}
 	sh.st.commit()
+	// Compaction runs between batches inside the same transaction: copies
+	// ride their own group commit + head publish, so the merged trace
+	// stays persistency-legal. A shard-full error here means everything
+	// is live; the pass already published what it copied, the victim
+	// stays mapped, and the shard keeps serving.
+	c0, b0 := sh.st.compactions, sh.st.copiedBytes
+	_ = sh.st.compact(s.cfg.CompactFrac)
+	s.compactionsC.Add(sh.st.compactions - c0)
+	s.copiedC.Add(sh.st.copiedBytes - b0)
 	sh.th.TxEnd()
 	end := sh.rt.Clock.Now()
 	for _, r := range sh.pending {
@@ -191,14 +242,34 @@ func (s *Service) commitLocked(sh *shard, start mem.Time) {
 	}
 	sh.batches++
 	sh.pending = sh.pending[:0]
+	s.observeSpaceLocked(sh)
 	sh.freeAt = end
+}
+
+// observeSpaceLocked refreshes the space gauges with this shard's
+// contribution. Deltas against the shard's last report keep the update
+// local to the shard lock — no cross-shard reads, so the concurrent API
+// stays race-free. Callers hold sh.mu.
+func (s *Service) observeSpaceLocked(sh *shard) {
+	live := sh.st.liveTotal()
+	dead := int64(sh.st.logBytes()) - live
+	segs := int64(len(sh.st.slotOf))
+	s.liveG.Add(live - sh.lastLive)
+	s.deadG.Add(dead - sh.lastDead)
+	s.segsG.Add(segs - sh.lastSegs)
+	sh.lastLive, sh.lastDead, sh.lastSegs = live, dead, segs
 }
 
 // Put stores key=val through the concurrent API: the request joins its
 // shard's batch and the batch commits when full (or at Flush). The value
 // is copied, so callers may reuse the slice. Latency is not tracked on
-// this path — there is no arrival process to measure from.
-func (s *Service) Put(key string, val []byte) {
+// this path — there is no arrival process to measure from. A record too
+// large for a log segment is rejected here, before it can poison a batch.
+func (s *Service) Put(key string, val []byte) error {
+	if recHeader+len(key)+len(val) > s.cfg.SegBytes {
+		s.rejectsC.Inc()
+		return fmt.Errorf("kvservice: record of %d bytes exceeds segment size %d", recHeader+len(key)+len(val), s.cfg.SegBytes)
+	}
 	sh := s.shards[s.ShardFor(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -208,20 +279,42 @@ func (s *Service) Put(key string, val []byte) {
 	if len(sh.pending) >= s.cfg.Batch {
 		s.commitLocked(sh, sh.freeAt)
 	}
+	return nil
+}
+
+// Delete removes key: a tombstone record joins the shard's batch and the
+// key's old record becomes dead space for the compactor to reclaim.
+// Deleting an absent key is a durable no-op.
+func (s *Service) Delete(key string) {
+	sh := s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pending = append(sh.pending, request{op: workload.KVOp{
+		Kind: workload.OpDelete, Key: key,
+	}})
+	if len(sh.pending) >= s.cfg.Batch {
+		s.commitLocked(sh, sh.freeAt)
+	}
 }
 
 // Get returns the newest value for key: a write waiting in the shard's
-// pending batch wins over the committed store (read-your-writes), then
-// the volatile index over the durable log.
+// pending batch wins over the committed store (read-your-writes) — a
+// pending delete reads as a miss — then the volatile index over the
+// durable log.
 func (s *Service) Get(key string) ([]byte, bool) {
 	sh := s.shards[s.ShardFor(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.gets++
 	for i := len(sh.pending) - 1; i >= 0; i-- {
-		if r := sh.pending[i]; r.op.Kind != workload.OpRead && r.op.Key == key {
-			return append([]byte(nil), r.op.Value...), true
+		r := sh.pending[i]
+		if r.op.Key != key || r.op.Kind == workload.OpRead {
+			continue
 		}
+		if r.op.Kind == workload.OpDelete {
+			return nil, false
+		}
+		return append([]byte(nil), r.op.Value...), true
 	}
 	return sh.st.get(key)
 }
@@ -269,8 +362,8 @@ func (s *Service) DurableLog(i int, from, to uint64) []byte {
 	sb := uint64(sh.st.segBytes)
 	for off := from; off < to; {
 		n := min(sb-off%sb, to-off)
-		if seg := int(off / sb); seg < len(sh.st.segs) {
-			a := sh.st.segs[seg] + mem.Addr(off%sb)
+		if slot, ok := sh.st.slotOf[off/sb]; ok {
+			a := sh.st.slotBase[slot] + mem.Addr(off%sb)
 			out = append(out, sh.rt.Dev.Durable(a, int(n))...)
 		} else {
 			out = append(out, make([]byte, n)...)
@@ -283,17 +376,30 @@ func (s *Service) DurableLog(i int, from, to uint64) []byte {
 // Crash power-fails every shard and runs recovery: pending batches are
 // lost (they were never durable), appended-but-unpublished records are
 // abandoned, and each shard's index is rebuilt by scanning its log up to
-// the durable head.
-func (s *Service) Crash(mode pmem.CrashMode, seed int64) {
+// the durable head. A shard whose durable image fails recovery validation
+// (corrupt lengths or slot table) is reported in the returned error and
+// reformatted empty so the service stays serviceable; callers treat a
+// non-nil return as data loss.
+func (s *Service) Crash(mode pmem.CrashMode, seed int64) error {
+	var firstErr error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.pending = sh.pending[:0]
 		super := sh.st.super
 		sh.rt.Crash(mode, seed)
-		sh.st = openStore(sh.th, super, s.cfg.SegBytes)
+		st, err := openStore(sh.th, super, s.cfg.SegBytes)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			st = newStore(sh.th, s.cfg.SegBytes)
+		}
+		sh.st = st
+		s.observeSpaceLocked(sh)
 		sh.freeAt = sh.rt.Clock.Now()
 		sh.mu.Unlock()
 	}
+	return firstErr
 }
 
 // --- simulation-facing entry points (see sim.go) -------------------------
@@ -351,6 +457,8 @@ func (s *Service) makespan() mem.Time {
 type ServiceStats struct {
 	Puts    uint64
 	Gets    uint64
+	Deletes uint64
+	Rejects uint64
 	Batches uint64
 	Fences  uint64
 }
@@ -363,11 +471,47 @@ func (s *Service) Stats() ServiceStats {
 		sh.mu.Lock()
 		st.Puts += sh.puts
 		st.Gets += sh.gets
+		st.Deletes += sh.dels
+		st.Rejects += sh.rejects
 		st.Batches += sh.batches
 		st.Fences += uint64(sh.rt.Trace.CountKind(trace.KFence))
 		sh.mu.Unlock()
 	}
 	return st
+}
+
+// SpaceStats is the service's log-space picture: live record bytes vs the
+// physical footprint of mapped segments, plus the compactor's work
+// counters since the last crash.
+type SpaceStats struct {
+	Segments    int    // mapped log segments across shards
+	LiveBytes   uint64 // live record bytes (current values + tombstones)
+	LogBytes    uint64 // mapped segments × segment size
+	Compactions uint64 // compaction passes completed
+	CopiedBytes uint64 // record bytes copied forward by compaction
+}
+
+// Amplification is LogBytes over LiveBytes (0 when nothing is live).
+func (sp SpaceStats) Amplification() float64 {
+	if sp.LiveBytes == 0 {
+		return 0
+	}
+	return float64(sp.LogBytes) / float64(sp.LiveBytes)
+}
+
+// Space sums the per-shard space accounting.
+func (s *Service) Space() SpaceStats {
+	var sp SpaceStats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sp.Segments += len(sh.st.slotOf)
+		sp.LiveBytes += uint64(sh.st.liveTotal())
+		sp.LogBytes += sh.st.logBytes()
+		sp.Compactions += sh.st.compactions
+		sp.CopiedBytes += sh.st.copiedBytes
+		sh.mu.Unlock()
+	}
+	return sp
 }
 
 // Latency exposes the service latency histogram (ns).

@@ -25,10 +25,12 @@ type SimConfig struct {
 	Ops             int     `json:"ops"`
 	Keys            uint64  `json:"keys"`
 	WritePct        int     `json:"write_pct"`
+	DeletePct       int     `json:"delete_pct,omitempty"`
 	ValueLen        int     `json:"value_len"`
 	ZipfS           float64 `json:"zipf_s"`
 	MaxWaitNS       uint64  `json:"max_wait_ns"`
 	OpCycles        uint64  `json:"op_cycles"`
+	SegBytes        int     `json:"seg_bytes,omitempty"`
 	Seed            int64   `json:"seed"`
 
 	// Metrics, when non-nil, is shared with the service instruments; nil
@@ -59,6 +61,12 @@ func (c SimConfig) withDefaults() SimConfig {
 	if c.WritePct <= 0 {
 		c.WritePct = 80
 	}
+	if c.DeletePct < 0 {
+		c.DeletePct = 0
+	}
+	if c.WritePct+c.DeletePct > 100 {
+		c.DeletePct = 100 - c.WritePct
+	}
 	if c.ValueLen <= 0 {
 		c.ValueLen = 128
 	}
@@ -81,19 +89,25 @@ func (c SimConfig) withDefaults() SimConfig {
 // service histogram (µs, rounded to 3 decimals); throughput is requests
 // over the simulated makespan.
 type SimResult struct {
-	Shards    int     `json:"shards"`
-	Batch     int     `json:"batch"`
-	Clients   int     `json:"clients"`
-	Ops       int     `json:"ops"`
-	Puts      uint64  `json:"puts"`
-	Batches   uint64  `json:"batches"`
-	MeanBatch float64 `json:"mean_batch"`
-	Fences    uint64  `json:"fences"`
-	SimNS     uint64  `json:"sim_ns"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	P50Us     float64 `json:"p50_us"`
-	P99Us     float64 `json:"p99_us"`
-	P999Us    float64 `json:"p999_us"`
+	Shards      int     `json:"shards"`
+	Batch       int     `json:"batch"`
+	Clients     int     `json:"clients"`
+	Ops         int     `json:"ops"`
+	Puts        uint64  `json:"puts"`
+	Deletes     uint64  `json:"deletes,omitempty"`
+	Batches     uint64  `json:"batches"`
+	MeanBatch   float64 `json:"mean_batch"`
+	Fences      uint64  `json:"fences"`
+	Compactions uint64  `json:"compactions"`
+	Segments    int     `json:"segments"`
+	LiveBytes   uint64  `json:"live_bytes"`
+	LogBytes    uint64  `json:"log_bytes"`
+	SpaceAmp    float64 `json:"space_amp"`
+	SimNS       uint64  `json:"sim_ns"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	P999Us      float64 `json:"p999_us"`
 }
 
 func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
@@ -113,6 +127,7 @@ func Run(cfg SimConfig) (SimResult, *Service) {
 		Batch:    cfg.Batch,
 		MaxWait:  mem.Time(cfg.MaxWaitNS),
 		OpCycles: mem.Cycles(cfg.OpCycles),
+		SegBytes: cfg.SegBytes,
 		Metrics:  reg,
 	})
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -128,31 +143,40 @@ func Run(cfg SimConfig) (SimResult, *Service) {
 		svc.commitDue(arrival)
 		key := fmt.Sprintf("key%08d", zipf.Next())
 		op := workload.KVOp{Kind: workload.OpRead, Key: key}
-		if rng.Intn(100) < cfg.WritePct {
+		if draw := rng.Intn(100); draw < cfg.WritePct {
 			val := make([]byte, cfg.ValueLen)
 			for j := range val {
 				val[j] = byte('a' + (i+j)%26)
 			}
 			op = workload.KVOp{Kind: workload.OpUpdate, Key: key, Value: val}
+		} else if draw < cfg.WritePct+cfg.DeletePct {
+			op = workload.KVOp{Kind: workload.OpDelete, Key: key}
 		}
 		svc.enqueue(op, arrival)
 	}
 	svc.drain()
 
 	stats := svc.Stats()
+	space := svc.Space()
 	span := max(svc.makespan(), mem.Time(t))
 	res := SimResult{
-		Shards:  cfg.Shards,
-		Batch:   cfg.Batch,
-		Clients: cfg.Clients,
-		Ops:     cfg.Ops,
-		Puts:    stats.Puts,
-		Batches: stats.Batches,
-		Fences:  stats.Fences,
-		SimNS:   uint64(span),
-		P50Us:   round3(svc.latency.Quantile(0.50) / 1000),
-		P99Us:   round3(svc.latency.Quantile(0.99) / 1000),
-		P999Us:  round3(svc.latency.Quantile(0.999) / 1000),
+		Shards:      cfg.Shards,
+		Batch:       cfg.Batch,
+		Clients:     cfg.Clients,
+		Ops:         cfg.Ops,
+		Puts:        stats.Puts,
+		Deletes:     stats.Deletes,
+		Batches:     stats.Batches,
+		Fences:      stats.Fences,
+		Compactions: space.Compactions,
+		Segments:    space.Segments,
+		LiveBytes:   space.LiveBytes,
+		LogBytes:    space.LogBytes,
+		SpaceAmp:    round3(space.Amplification()),
+		SimNS:       uint64(span),
+		P50Us:       round3(svc.latency.Quantile(0.50) / 1000),
+		P99Us:       round3(svc.latency.Quantile(0.99) / 1000),
+		P999Us:      round3(svc.latency.Quantile(0.999) / 1000),
 	}
 	if stats.Batches > 0 {
 		res.MeanBatch = round3(float64(cfg.Ops) / float64(stats.Batches))
@@ -167,6 +191,63 @@ func Run(cfg SimConfig) (SimResult, *Service) {
 func Simulate(cfg SimConfig) SimResult {
 	r, _ := Run(cfg)
 	return r
+}
+
+// ChurnResult is the compaction-churn gate's verdict (see Churn).
+type ChurnResult struct {
+	Ops         int     `json:"ops"`
+	Puts        uint64  `json:"puts"`
+	Rejects     uint64  `json:"rejects"`
+	Compactions uint64  `json:"compactions"`
+	CopiedBytes uint64  `json:"copied_bytes"`
+	Segments    int     `json:"segments"`
+	SegLimit    int     `json:"seg_limit"`
+	LiveBytes   uint64  `json:"live_bytes"`
+	LogBytes    uint64  `json:"log_bytes"`
+	SpaceAmp    float64 `json:"space_amp"`
+	AmpLimit    float64 `json:"amp_limit"`
+	Ok          bool    `json:"ok"`
+}
+
+// Churn is the compaction-churn gate: a sustained 100%-overwrite zipfian
+// workload over a small keyspace with small segments, sized so the
+// appended bytes overflow the 512-slot table several times over. Before
+// compaction this configuration killed the process at maxSegs; the gate
+// demands the run completes with zero rejected requests, the mapped
+// segment count bounded far below the table, and steady-state space
+// amplification at or under 2×.
+func Churn(ops int, seed int64) (ChurnResult, *Service) {
+	if ops <= 0 {
+		ops = 40000
+	}
+	res, svc := Run(SimConfig{
+		Shards:   1,
+		Batch:    8,
+		Clients:  2000,
+		Ops:      ops,
+		Keys:     1024,
+		WritePct: 100,
+		ValueLen: 128,
+		SegBytes: 1 << 13,
+		Seed:     seed,
+	})
+	stats := svc.Stats()
+	out := ChurnResult{
+		Ops:         res.Ops,
+		Puts:        res.Puts,
+		Rejects:     stats.Rejects,
+		Compactions: res.Compactions,
+		CopiedBytes: svc.Space().CopiedBytes,
+		Segments:    res.Segments,
+		SegLimit:    64,
+		LiveBytes:   res.LiveBytes,
+		LogBytes:    res.LogBytes,
+		SpaceAmp:    res.SpaceAmp,
+		AmpLimit:    2.0,
+	}
+	out.Ok = out.Rejects == 0 && out.Compactions > 0 &&
+		out.Segments <= out.SegLimit && out.SpaceAmp <= out.AmpLimit
+	return out, svc
 }
 
 // SweepConfig is the grid a capacity sweep covers: the cross product of

@@ -146,15 +146,79 @@ func TestSimResultSanity(t *testing.T) {
 	if r.Batches == 0 || r.MeanBatch < 1 {
 		t.Fatalf("batches = %d, mean %.2f", r.Batches, r.MeanBatch)
 	}
-	// Two fences per put-carrying batch plus one per shard format, never
-	// more (read-only batches are free).
-	if r.Fences > 2*r.Batches+2 {
-		t.Fatalf("fences = %d for %d batches", r.Fences, r.Batches)
+	// Two fences per put-carrying batch, up to three per compaction pass
+	// (group commit, head publish, slot retire), plus one per shard
+	// format, never more (read-only batches are free).
+	if r.Fences > 2*r.Batches+3*r.Compactions+2 {
+		t.Fatalf("fences = %d for %d batches, %d compactions", r.Fences, r.Batches, r.Compactions)
 	}
 	if r.SimNS == 0 || r.OpsPerSec <= 0 {
 		t.Fatalf("degenerate makespan: %d ns, %.1f ops/s", r.SimNS, r.OpsPerSec)
 	}
 	if r.P50Us <= 0 || r.P99Us < r.P50Us || r.P999Us < r.P99Us {
 		t.Fatalf("quantiles out of order: p50=%.3f p99=%.3f p999=%.3f", r.P50Us, r.P99Us, r.P999Us)
+	}
+	if r.Segments == 0 || r.LogBytes == 0 {
+		t.Fatalf("space columns empty: %+v", r)
+	}
+	if r.LiveBytes > r.LogBytes {
+		t.Fatalf("live bytes %d exceed the physical log %d", r.LiveBytes, r.LogBytes)
+	}
+}
+
+// TestSimDeleteMixAndSpaceColumns runs a delete-heavy row on small
+// segments: deletes must show up in the result, compaction must engage,
+// and the space columns must report a bounded, consistent picture.
+func TestSimDeleteMixAndSpaceColumns(t *testing.T) {
+	r := Simulate(SimConfig{
+		Shards: 2, Batch: 8, Clients: 1000, Ops: 8000,
+		WritePct: 60, DeletePct: 25, Keys: 512, ValueLen: 64,
+		SegBytes: 1 << 12,
+	})
+	if r.Deletes == 0 {
+		t.Fatal("delete mix produced no deletes")
+	}
+	if r.Compactions == 0 {
+		t.Fatal("small-segment churn never compacted")
+	}
+	if r.SpaceAmp <= 0 || r.SpaceAmp > 3.0 {
+		t.Fatalf("space amplification %.3f out of range", r.SpaceAmp)
+	}
+	if r.Segments > 128 {
+		t.Fatalf("segments unbounded: %d", r.Segments)
+	}
+}
+
+// TestSimDeletePctZeroUnchanged pins stream compatibility: DeletePct=0
+// must reproduce the exact op stream (and therefore the exact result)
+// the pre-delete simulator produced — one rng draw routes each op.
+func TestSimDeletePctZeroUnchanged(t *testing.T) {
+	a := Simulate(SimConfig{Shards: 2, Batch: 8, Clients: 1000, Ops: 5000, Seed: 9})
+	b := Simulate(SimConfig{Shards: 2, Batch: 8, Clients: 1000, Ops: 5000, Seed: 9, DeletePct: 0})
+	if a != b {
+		t.Fatalf("DeletePct=0 perturbed the run:\n%+v\n%+v", a, b)
+	}
+	if a.Deletes != 0 {
+		t.Fatalf("deletes = %d with no delete mix", a.Deletes)
+	}
+}
+
+// TestChurnGateVerdict runs the compaction-churn acceptance gate at test
+// scale: the workload appends several slot-tables' worth of bytes, which
+// the pre-compaction store could not absorb (it panicked at maxSegs).
+func TestChurnGateVerdict(t *testing.T) {
+	res, svc := Churn(12000, 7)
+	if !res.Ok {
+		t.Fatalf("churn gate failed: %+v", res)
+	}
+	if res.Compactions == 0 || res.Rejects != 0 {
+		t.Fatalf("verdict inconsistent: %+v", res)
+	}
+	if uint64(res.Segments)*uint64(1<<13) != res.LogBytes {
+		t.Fatalf("log bytes %d disagree with %d segments", res.LogBytes, res.Segments)
+	}
+	sp := svc.Space()
+	if sp.Compactions != res.Compactions {
+		t.Fatalf("service reports %d compactions, result %d", sp.Compactions, res.Compactions)
 	}
 }

@@ -144,12 +144,22 @@ func (r *Runtime) VMap(size int) mem.Addr {
 
 // Crash injects a power failure (see pmem.Device.Crash). Outstanding
 // transactions are abandoned; applications must run their recovery paths.
+// A KCrash event marks the failure in the trace so durability analyses
+// (pmsan) reset their cache state instead of carrying dirty lines and
+// open transactions across the power loss. The event bypasses the event
+// hook: it is not a device operation a checker could stop on.
 func (r *Runtime) Crash(mode pmem.CrashMode, seed int64) {
 	r.Dev.Crash(mode, seed)
 	for _, th := range r.threads {
 		th.txDepth = 0
 		th.epochOpen = false
 		th.epochLineTouches = 0 // the open epoch never closed; don't record it
+	}
+	ev := trace.Event{Time: r.Clock.Now(), Kind: trace.KCrash}
+	if r.sink != nil {
+		r.sink(ev)
+	} else {
+		r.Trace.Append(ev)
 	}
 }
 

@@ -210,6 +210,8 @@ func (s *Sanitizer) Observe(e trace.Event) {
 		t.txOpen = true
 	case trace.KTxEnd:
 		s.txEnd(e)
+	case trace.KCrash:
+		s.crash()
 	}
 	// Loads, vloads/vstores, and userdata records don't move the
 	// durability state machine.
@@ -312,6 +314,16 @@ func (s *Sanitizer) txEnd(e trace.Event) {
 	}
 	t.txLines = t.txLines[:0]
 	t.txOpen = false
+}
+
+// crash resets every thread's durability state: a power failure empties
+// all CPU caches (nothing stays dirty — it is simply lost) and abandons
+// all open transactions, so carrying pre-crash state into the recovery
+// path would report ordering errors no hardware can observe.
+func (s *Sanitizer) crash() {
+	for tid := range s.threads {
+		s.threads[tid] = &threadState{lines: make(map[mem.Line]*lineState)}
+	}
 }
 
 // Finish seals the sanitizer and returns its report. It also publishes

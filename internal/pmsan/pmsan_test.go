@@ -196,6 +196,49 @@ func TestThreadsAreIndependent(t *testing.T) {
 	wantSites(t, rep, map[Class]int{UnfencedFlush: 1, FenceNoWork: 1})
 }
 
+// TestCrashResetsState pins the KCrash semantics: a power failure empties
+// every cache and abandons every open transaction, so dirty lines and
+// unflushed tx stores from before the crash must not surface as ordering
+// errors in the recovery path's transactions.
+func TestCrashResetsState(t *testing.T) {
+	a, b := pmAddr(1, 0), pmAddr(2, 0)
+	rep := sanitize(t, []trace.Event{
+		// Interrupted commit: two stores, one flushed, no fence, no TxEnd.
+		ev(trace.KTxBegin, 0, 0, 0, 1),
+		ev(trace.KStore, 0, a, 8, 2),
+		ev(trace.KStore, 0, b, 8, 3),
+		ev(trace.KFlush, 0, b, 8, 4),
+		ev(trace.KCrash, 0, 0, 0, 5),
+		// Recovery-path transaction touching different lines entirely; the
+		// pre-crash dirty line a and unfenced line b must not leak into it.
+		ev(trace.KTxBegin, 0, 0, 0, 6),
+		ev(trace.KStore, 0, pmAddr(3, 0), 8, 7),
+		ev(trace.KFlush, 0, pmAddr(3, 0), 8, 8),
+		ev(trace.KFence, 0, 0, 0, 9),
+		ev(trace.KTxEnd, 0, 0, 0, 10),
+	})
+	wantSites(t, rep, map[Class]int{})
+	if rep.Errors() != 0 {
+		t.Fatalf("crash carried state into recovery: %d errors\n%s", rep.Errors(), rep)
+	}
+}
+
+// TestCrashResetsAllThreads pins that the reset is machine-wide, not
+// per-thread: the crash event's TID is irrelevant.
+func TestCrashResetsAllThreads(t *testing.T) {
+	rep := sanitize(t, []trace.Event{
+		ev(trace.KTxBegin, 1, 0, 0, 1),
+		ev(trace.KStore, 1, pmAddr(4, 0), 8, 2),
+		ev(trace.KCrash, 0, 0, 0, 3), // crash recorded on t0
+		ev(trace.KTxBegin, 1, 0, 0, 4),
+		ev(trace.KStore, 1, pmAddr(5, 0), 8, 5),
+		ev(trace.KFlush, 1, pmAddr(5, 0), 8, 6),
+		ev(trace.KFence, 1, 0, 0, 7),
+		ev(trace.KTxEnd, 1, 0, 0, 8),
+	})
+	wantSites(t, rep, map[Class]int{})
+}
+
 func TestStoreOutsideTxNotFlaggedAtCommit(t *testing.T) {
 	a := pmAddr(11, 0)
 	rep := sanitize(t, []trace.Event{

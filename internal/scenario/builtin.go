@@ -14,6 +14,9 @@ import "fmt"
 //     apps' working sets with no crashes, for epoch-profile comparison.
 //   - spike: think-time load spike on the kvservice beside a steady redis
 //     tenant, with periodic strict crashes.
+//   - compact-churn: kvservice alone on tiny (1 KiB) segments under a
+//     hot overwrite+delete mix, crashing mid-batch every 25 ops — the
+//     storm that lands crashes inside and around log compaction passes.
 var builtins = []*Spec{
 	{
 		Name: "smoke",
@@ -47,8 +50,8 @@ var builtins = []*Spec{
 				{Ops: 250, WritePct: 40, DelPct: 10, HotPct: 85, HotKeys: 16, Rotate: 40},
 			}},
 			{App: "kvservice", Keys: 512, Shards: 2, Batch: 4, Phases: []Phase{
-				{Ops: 300, WritePct: 75, Zipf: 1.2, ValueLen: 24},
-				{Ops: 300, WritePct: 75, HotPct: 90, HotKeys: 64, Rotate: 80, ValueLen: 24},
+				{Ops: 300, WritePct: 65, DelPct: 10, Zipf: 1.2, ValueLen: 24},
+				{Ops: 300, WritePct: 65, DelPct: 10, HotPct: 90, HotKeys: 64, Rotate: 80, ValueLen: 24},
 			}},
 		},
 		Crash: CrashPlan{Every: 40, Mode: "alternate", MidBatch: true},
@@ -77,6 +80,16 @@ var builtins = []*Spec{
 			}},
 		},
 		Crash: CrashPlan{Every: 150, Mode: "strict"},
+	},
+	{
+		Name: "compact-churn",
+		Tenants: []Tenant{
+			{App: "kvservice", Keys: 96, Shards: 2, Batch: 4, SegBytes: 1024, Phases: []Phase{
+				{Ops: 600, WritePct: 70, DelPct: 20, Zipf: 1.3, ValueLen: 48},
+				{Ops: 600, WritePct: 80, DelPct: 15, HotPct: 90, HotKeys: 16, Rotate: 60, ValueLen: 48},
+			}},
+		},
+		Crash: CrashPlan{Every: 25, Mode: "alternate", MidBatch: true},
 	},
 }
 

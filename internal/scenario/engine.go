@@ -318,12 +318,18 @@ func (e *engine) crashCycle(globalOp int) {
 	}
 	seed := e.cfg.Seed*1_000_003 + int64(cycle)*8191 + 29
 
-	// Abort one group commit mid-batch per service tenant: the crash then
-	// lands between a batch's record appends and its head publish.
+	// Abort one group commit mid-batch per service tenant: the abort lands
+	// somewhere in the batch's PM instruction stream, so the crash hits
+	// between record appends and head publish — or after the publish, or
+	// inside the compaction pass that follows the batch. Whether the batch
+	// survived is decided after recovery, against the durable head.
+	aborts := map[*svcTarget]midAbort{}
 	if e.spec.Crash.MidBatch {
 		for _, t := range e.tenants {
 			if t.svc != nil {
-				e.injectMidCommit(t.svc)
+				if ab, ok := e.injectMidCommit(t.svc); ok {
+					aborts[t.svc] = ab
+				}
 			}
 		}
 	}
@@ -334,7 +340,23 @@ func (e *engine) crashCycle(globalOp int) {
 	for _, t := range e.tenants {
 		if t.svc != nil {
 			svcIdx++
-			t.svc.svc.Crash(devMode, seed+int64(svcIdx))
+			if err := t.svc.svc.Crash(devMode, seed+int64(svcIdx)); err != nil {
+				e.violationsC.Inc()
+				e.res.Violations = append(e.res.Violations, Violation{
+					Tenant: t.tgt.label(), Cycle: cycle, Op: globalOp,
+					Mode: mode, Seed: e.cfg.Seed, Err: "recovery: " + err.Error(),
+				})
+			}
+			// Resolve the mid-batch abort now that the durable image is
+			// final: if the shard's durable head moved past its pre-commit
+			// position, the batch's records and head publish both landed
+			// before the abort (the head store follows the record fence),
+			// so the oracle must keep the batch.
+			if ab, ok := aborts[t.svc]; ok {
+				if d, _ := t.svc.svc.LogHeads(ab.shard); d > ab.head {
+					t.svc.commitShard(ab.shard)
+				}
+			}
 		}
 		t.tgt.crashed()
 	}
@@ -356,17 +378,27 @@ func (e *engine) crashCycle(globalOp int) {
 	e.res.CrashCycles++
 }
 
+// midAbort records an aborted group commit pending resolution: the shard
+// whose flush was panicked out of, and its durable head before the flush.
+type midAbort struct {
+	shard int
+	head  uint64
+}
+
 // injectMidCommit forces an early commit of t's first pending batch and
-// aborts it partway through the PM instruction stream: the countdown is
-// bounded by twice the batch's put count, which is always reached before
-// the group's coalesced flush — so the head is never published and the
-// batch must vanish at the crash.
-func (e *engine) injectMidCommit(t *svcTarget) {
+// aborts it partway through the PM instruction stream. Puts append with
+// two events and tombstones with one (a delete of an absent key with
+// none), so the countdown can land anywhere: mid-append, after the head
+// publish, or inside a compaction pass. The caller resolves the batch's
+// fate against the post-crash durable head; a commit that outran the
+// countdown entirely is promoted here.
+func (e *engine) injectMidCommit(t *svcTarget) (midAbort, bool) {
 	idx, n := t.pendingShard()
 	if idx < 0 {
-		return
+		return midAbort{}, false
 	}
 	rt := t.svc.Runtime(idx)
+	d0, _ := t.svc.LogHeads(idx)
 	countdown := 1 + e.rng.Intn(2*n)
 	panicked := false
 	rt.SetEventHook(func(trace.Event) {
@@ -387,13 +419,14 @@ func (e *engine) injectMidCommit(t *svcTarget) {
 		}()
 		t.svc.FlushShard(idx)
 	}()
-	if panicked {
-		e.res.MidBatchAborts++
-		e.midbatchC.Inc()
-	} else {
+	if !panicked {
 		// The commit outran the countdown; the batch is durable after all.
 		t.commitShard(idx)
+		return midAbort{}, false
 	}
+	e.res.MidBatchAborts++
+	e.midbatchC.Inc()
+	return midAbort{shard: idx, head: d0}, true
 }
 
 // finish drains service batches and runs the final oracle sweep.

@@ -38,6 +38,7 @@ func genSpec(data []byte) *Spec {
 		if t.App == "kvservice" {
 			t.Shards = int(c.b())%4 + 1
 			t.Batch = int(c.b())%8 + 1
+			t.SegBytes = 512 << (int(c.b()) % 6)
 		}
 		for np := int(c.b())%3 + 1; np > 0; np-- {
 			p := Phase{Ops: int(c.b())%200 + 1}

@@ -38,11 +38,12 @@ type Spec struct {
 
 // Tenant is one traffic source bound to one app (or service) instance.
 type Tenant struct {
-	App    string
-	Keys   uint64 // keyspace size
-	Shards int    // kvservice only
-	Batch  int    // kvservice only: group-commit batch size
-	Phases []Phase
+	App      string
+	Keys     uint64 // keyspace size
+	Shards   int    // kvservice only
+	Batch    int    // kvservice only: group-commit batch size
+	SegBytes int    // kvservice only: log segment size (compaction churn knob)
+	Phases   []Phase
 }
 
 // Phase is a contiguous stretch of a tenant's traffic with one skew and
@@ -50,7 +51,7 @@ type Tenant struct {
 type Phase struct {
 	Ops      int
 	WritePct int     // percent of ops that write
-	DelPct   int     // percent of ops that delete (apps only)
+	DelPct   int     // percent of ops that delete
 	Zipf     float64 // zipfian skew; used when HotPct == 0
 	HotPct   int     // percent of draws in the hot window (hotspot mode)
 	HotKeys  uint64  // hot window size
@@ -84,9 +85,15 @@ func (s *Spec) withDefaults() {
 			if t.Batch <= 0 {
 				t.Batch = 4
 			}
+			if t.SegBytes <= 0 {
+				// Small segments so crash storms exercise segment growth,
+				// padded tails and compaction, not just segment zero.
+				t.SegBytes = 1 << 14
+			}
 		} else {
 			t.Shards = 0
 			t.Batch = 0
+			t.SegBytes = 0
 		}
 		for j := range t.Phases {
 			p := &t.Phases[j]
@@ -136,6 +143,9 @@ func (s *Spec) Validate() error {
 		if len(t.Phases) == 0 {
 			return fmt.Errorf("scenario %s: tenant %d (%s): no phases", s.Name, i, t.App)
 		}
+		if t.App == "kvservice" && t.SegBytes != 0 && t.SegBytes < 256 {
+			return fmt.Errorf("scenario %s: tenant %d: seg=%d too small (want >= 256)", s.Name, i, t.SegBytes)
+		}
 		for j, p := range t.Phases {
 			if p.Ops <= 0 {
 				return fmt.Errorf("scenario %s: tenant %d phase %d: ops must be positive", s.Name, i, j)
@@ -178,7 +188,7 @@ func (s *Spec) String() string {
 	for _, t := range s.Tenants {
 		fmt.Fprintf(&b, "tenant %s keys=%d", t.App, t.Keys)
 		if t.App == "kvservice" {
-			fmt.Fprintf(&b, " shards=%d batch=%d", t.Shards, t.Batch)
+			fmt.Fprintf(&b, " shards=%d batch=%d seg=%d", t.Shards, t.Batch, t.SegBytes)
 		}
 		b.WriteByte('\n')
 		for _, p := range t.Phases {
@@ -211,7 +221,7 @@ func (s *Spec) String() string {
 // Parse reads the text scenario format:
 //
 //	scenario NAME
-//	tenant APP [keys=N] [shards=N] [batch=N]
+//	tenant APP [keys=N] [shards=N] [batch=N] [seg=BYTES]
 //	  phase ops=N [writes=PCT] [dels=PCT] [zipf=S | hot=PCT/KEYS [rotate=N]] [vlen=N] [think=CYCLES]
 //	crash every=N [mode=strict|adversarial|alternate] [midbatch]
 //
@@ -254,6 +264,8 @@ func Parse(src string) (*Spec, error) {
 					t.Shards, err = parseInt(v, ln+1, k)
 				case "batch":
 					t.Batch, err = parseInt(v, ln+1, k)
+				case "seg":
+					t.SegBytes, err = parseInt(v, ln+1, k)
 				default:
 					err = fmt.Errorf("line %d: unknown tenant option %q", ln+1, k)
 				}

@@ -280,12 +280,16 @@ func (t *strTarget) check() error {
 // ---------------------------------------------------------------------------
 // kvservice tenant: a sharded service with its own persistence domains.
 
-type kvPair struct{ k, v string }
+type kvPair struct {
+	k, v string
+	del  bool
+}
 
-// svcTarget mirrors the service's group-commit batching: a put is only
-// promoted into the committed oracle when its shard's batch commits, and
-// a crash throws away whatever was still pending — exactly the service's
-// durability contract. Reads see pending writes (read-your-batch), so the
+// svcTarget mirrors the service's group-commit batching: a put or delete
+// is only promoted into the committed oracle when its shard's batch
+// commits, and a crash throws away whatever was still pending — exactly
+// the service's durability contract. Reads see pending writes
+// (read-your-batch, with pending deletes reading as misses), so the
 // oracle tracks both layers.
 type svcTarget struct {
 	base
@@ -298,11 +302,9 @@ type svcTarget struct {
 
 func newSvcTarget(name string, t Tenant, reg *obs.Registry) *svcTarget {
 	svc := kvservice.New(kvservice.Config{
-		Shards: t.Shards,
-		Batch:  t.Batch,
-		// Small segments so crash storms exercise segment growth and
-		// padded tails, not just offsets within segment zero.
-		SegBytes: 1 << 14,
+		Shards:   t.Shards,
+		Batch:    t.Batch,
+		SegBytes: t.SegBytes,
 		Metrics:  reg,
 	})
 	return &svcTarget{
@@ -320,8 +322,11 @@ func newSvcTarget(name string, t Tenant, reg *obs.Registry) *svcTarget {
 func (t *svcTarget) lookup(key string) (string, bool) {
 	sh := t.svc.ShardFor(key)
 	for i := len(t.pending[sh]) - 1; i >= 0; i-- {
-		if t.pending[sh][i].k == key {
-			return t.pending[sh][i].v, true
+		if p := t.pending[sh][i]; p.k == key {
+			if p.del {
+				return "", false
+			}
+			return p.v, true
 		}
 	}
 	v, ok := t.committed[key]
@@ -340,12 +345,20 @@ func (t *svcTarget) apply(o op) {
 		}
 		return
 	}
-	// The service has no delete; both write kinds store a fresh value.
-	t.writes++
-	val := scenarioVal(o)
-	t.svc.Put(key, []byte(val))
 	sh := t.svc.ShardFor(key)
-	t.pending[sh] = append(t.pending[sh], kvPair{key, val})
+	if o.kind == opDel {
+		t.deletes++
+		t.svc.Delete(key)
+		t.pending[sh] = append(t.pending[sh], kvPair{k: key, del: true})
+	} else {
+		t.writes++
+		val := scenarioVal(o)
+		if err := t.svc.Put(key, []byte(val)); err != nil {
+			t.fail("put %s: %v", key, err)
+			return
+		}
+		t.pending[sh] = append(t.pending[sh], kvPair{k: key, v: val})
+	}
 	if len(t.pending[sh]) >= t.batch {
 		t.commitShard(sh)
 	}
@@ -354,7 +367,11 @@ func (t *svcTarget) apply(o op) {
 // commitShard promotes shard sh's mirrored batch into the committed layer.
 func (t *svcTarget) commitShard(sh int) {
 	for _, p := range t.pending[sh] {
-		t.committed[p.k] = p.v
+		if p.del {
+			delete(t.committed, p.k)
+		} else {
+			t.committed[p.k] = p.v
+		}
 	}
 	t.pending[sh] = t.pending[sh][:0]
 }

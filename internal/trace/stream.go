@@ -59,7 +59,7 @@ const (
 
 	// maxKind is the highest valid Kind byte; both codec versions reject
 	// anything above it.
-	maxKind = byte(KUserData)
+	maxKind = byte(KCrash)
 
 	// maxThreads bounds the header thread count trusted from either codec
 	// version, mirroring the string-length bound in readString. The count

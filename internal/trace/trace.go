@@ -39,12 +39,17 @@ const (
 	// user data, as opposed to log/allocator/metadata bytes. The write
 	// amplification analysis (§5.2) divides total PM bytes by user bytes.
 	KUserData
+	// KCrash marks a power failure. Every CPU cache empties and every
+	// in-flight transaction is abandoned, so durability-state analyses
+	// (pmsan) reset at this point; events after it are the recovery path.
+	KCrash
 )
 
 var kindNames = [...]string{
 	KStore: "store", KStoreNT: "store.nt", KLoad: "load", KFlush: "flush",
 	KFence: "fence", KTxBegin: "tx.begin", KTxEnd: "tx.end",
 	KVLoad: "vload", KVStore: "vstore", KUserData: "userdata",
+	KCrash: "crash",
 }
 
 func (k Kind) String() string {
@@ -79,7 +84,7 @@ type Event struct {
 
 func (e Event) String() string {
 	switch e.Kind {
-	case KFence, KTxBegin, KTxEnd:
+	case KFence, KTxBegin, KTxEnd, KCrash:
 		return fmt.Sprintf("%d t%d %s", e.Time, e.TID, e.Kind)
 	default:
 		return fmt.Sprintf("%d t%d %s %v+%d", e.Time, e.TID, e.Kind, e.Addr, e.Size)
