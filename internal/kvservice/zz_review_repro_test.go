@@ -1,0 +1,43 @@
+package kvservice
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/whisper-pm/whisper/internal/persist"
+)
+
+// Repro: head exactly on a segment boundary, preceding segment retired.
+func TestReviewBoundaryRetire(t *testing.T) {
+	rt := persist.NewRuntime("repro", "native", 1, persist.Config{})
+	th := rt.Thread(0)
+	seg := 1024
+	th.TxBegin()
+	s := newStore(th, seg)
+	// 64 puts of klen-8 keys, vlen 0: records are 16 bytes, fill seg0 exactly.
+	for i := 0; i < 64; i++ {
+		if err := s.put(fmt.Sprintf("key%05d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.commit()
+	// 64 tombstones fill seg1 exactly; head lands on the 2048 boundary.
+	for i := 0; i < 64; i++ {
+		if _, err := s.del(fmt.Sprintf("key%05d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.commit()
+	t.Logf("head=%d live0=%d live1=%d", s.head, s.live[0], s.live[1])
+	// Pass 1 retires seg0 (all dead); pass 2 drops the now-sole tombstones
+	// and retires seg1 with nothing copied, leaving head=2048 in unmapped seg1.
+	if err := s.compact(1.0); err != nil {
+		t.Fatal(err)
+	}
+	th.TxEnd()
+	t.Logf("after compact: head=%d mapped=%d", s.head, len(s.slotOf))
+	rt.Crash(0, 1)
+	if _, err := openStore(th, s.super, seg); err != nil {
+		t.Fatalf("recovery failed on a legal image: %v", err)
+	}
+}
